@@ -1,0 +1,302 @@
+(* Benchmark harness: regenerates every table and figure of the
+   paper's evaluation plus the ablations from DESIGN.md.
+
+   Usage: main.exe [target ...] [reps=N] [csv=DIR]
+
+   With csv=DIR each figure target also writes its data as
+   DIR/<figure>.csv for external plotting.
+
+   Targets: figs (Figures 3-5), fig7, fig8, fig9, fig10, fig11,
+   advisor (the §4.1 packet-size table), goodput, ablation-schemes,
+   ablation-quench, ablation-tick, ablation-rtmax, ablation-window,
+   ablation-window-tcp, ablation-rearm, ablation-pacing,
+   ablation-flavor, ablation-delack, ablation-congestion,
+   ablation-sched, ablation-handoff, micro (Bechamel engine
+   micro-benchmarks).  No target runs everything. *)
+
+let replications = ref 10
+let csv_dir : string option ref = ref None
+
+let write_csv name contents =
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let path = Filename.concat dir (name ^ ".csv") in
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+
+let section body =
+  print_newline ();
+  print_endline body
+
+(* ------------------------------------------------------------------ *)
+(* Paper figures                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let figs () = section (Core.Fig_traces.render_all ())
+
+let fig7 () =
+  section (Core.Fig7.render ~replications:!replications ());
+  if !csv_dir <> None then
+    write_csv "fig7"
+      (Core.Wan_sweep.to_csv (Core.Fig7.compute ~replications:!replications ()))
+
+let fig8 () =
+  section (Core.Fig8.render ~replications:!replications ());
+  if !csv_dir <> None then
+    write_csv "fig8"
+      (Core.Wan_sweep.to_csv (Core.Fig8.compute ~replications:!replications ()))
+
+let fig9 () =
+  section (Core.Fig9.render ~replications:!replications ());
+  if !csv_dir <> None then begin
+    write_csv "fig9a"
+      (Core.Wan_sweep.to_csv
+         (Core.Fig9.compute_basic ~replications:!replications ()));
+    write_csv "fig9b"
+      (Core.Wan_sweep.to_csv
+         (Core.Fig9.compute_ebsn ~replications:!replications ()))
+  end
+
+let fig10 () =
+  section (Core.Fig10.render ~replications:!replications ());
+  if !csv_dir <> None then begin
+    let basic, ebsn = Core.Fig10.compute ~replications:!replications () in
+    write_csv "fig10" (Core.Lan_sweep.to_csv [ basic; ebsn ])
+  end
+
+let fig11 () =
+  section (Core.Fig11.render ~replications:!replications ());
+  if !csv_dir <> None then begin
+    let basic, ebsn = Core.Fig11.compute ~replications:!replications () in
+    write_csv "fig11" (Core.Lan_sweep.to_csv [ basic; ebsn ])
+  end
+
+let advisor () =
+  let table =
+    Core.Packet_size_advisor.build_table ~replications:!replications
+      ~mean_bad_secs:[ 1.0; 2.0; 3.0; 4.0 ] ()
+  in
+  let rows =
+    List.map
+      (fun e ->
+        [
+          Printf.sprintf "%.0f" e.Core.Packet_size_advisor.mean_bad_sec;
+          string_of_int e.Core.Packet_size_advisor.best_size;
+          Core.Report.kbps e.Core.Packet_size_advisor.best_throughput_bps;
+          Printf.sprintf "%+.0f%%"
+            (100.0 *. e.Core.Packet_size_advisor.gain_over_worst);
+        ])
+      table
+  in
+  section
+    (String.concat "\n"
+       [
+         Core.Report.heading
+           "§4.1 — base-station packet-size table (basic TCP, wide area)";
+         Core.Report.table
+           ~columns:
+             [ "bad period (s)"; "best size (B)"; "tput kbps"; "vs worst" ]
+           ~rows;
+         Core.Report.note
+           "the paper's proposed fixed lookup table: error characteristic \
+            -> good packet size";
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let r () = !replications
+
+let ablation_schemes () = section (Core.Ablations.schemes ~replications:(r ()) ())
+let ablation_quench () = section (Core.Ablations.quench ~replications:(r ()) ())
+
+let ablation_tick () =
+  section (Core.Ablations.tick_granularity ~replications:(r ()) ())
+
+let ablation_rtmax () = section (Core.Ablations.rt_max ~replications:(r ()) ())
+
+let ablation_window () =
+  section (Core.Ablations.arq_window ~replications:(r ()) ())
+
+let ablation_pacing () =
+  section (Core.Ablations.ebsn_pacing ~replications:(r ()) ())
+
+let ablation_tcp_window () =
+  section (Core.Ablations.tcp_window ~replications:(r ()) ())
+
+let goodput () =
+  section
+    (String.concat "\n\n"
+       [
+         Core.Wan_sweep.render_metric
+           ~title:"Goodput vs packet size — basic TCP (wide area)"
+           ~note:"paper metric: useful data delivered / data transmitted"
+           ~unit_label:"goodput (fraction, mean over replications)"
+           (Core.Wan_sweep.compute ~replications:!replications
+              ~scheme:Core.Scenario.Basic ~metric:Core.Sweep.goodput ());
+         Core.Wan_sweep.render_metric
+           ~title:"Goodput vs packet size — TCP with EBSN (wide area)"
+           ~note:"paper: goodput with EBSN is ~100% at every size"
+           ~unit_label:"goodput (fraction, mean over replications)"
+           (Core.Wan_sweep.compute ~replications:!replications
+              ~scheme:Core.Scenario.Ebsn ~metric:Core.Sweep.goodput ());
+       ])
+
+let ablation_rearm () =
+  section (Core.Ablations.ebsn_rearm ~replications:(r ()) ())
+
+let ablation_flavor () =
+  section (Core.Ablations.flavor ~replications:(r ()) ())
+
+let ablation_delack () =
+  section (Core.Ablations.delayed_ack ~replications:(r ()) ())
+
+let ablation_congestion () =
+  section (Core.Ablations.congestion ~replications:(r ()) ())
+
+let ablation_sched () = section (Core.Csdp.render ())
+let ablation_handoff () = section (Core.Handoff.render ())
+
+(* ------------------------------------------------------------------ *)
+(* Engine micro-benchmarks (Bechamel)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let micro_tests () =
+  let open Bechamel in
+  let event_queue_cycle =
+    Test.make ~name:"event_queue add+pop (256 events)"
+      (Staged.stage (fun () ->
+           let q = Core.Event_queue.create () in
+           for i = 0 to 255 do
+             ignore (Core.Event_queue.add q ~time:(Core.Simtime.of_ns i) i)
+           done;
+           while Core.Event_queue.pop q <> None do
+             ()
+           done))
+  in
+  let channel_segments =
+    let rng = Core.Rng.create ~seed:42 in
+    let channel =
+      Core.Gilbert_elliott.create ~rng
+        ~mean_good:(Core.Simtime.span_sec 10.0)
+        ~mean_bad:(Core.Simtime.span_sec 4.0)
+    in
+    let cursor = ref 0 in
+    Test.make ~name:"gilbert-elliott segment query (100ms)"
+      (Staged.stage (fun () ->
+           let start = Core.Simtime.of_ns (!cursor * 100_000) in
+           cursor := (!cursor + 1) mod 1_000_000;
+           ignore
+             (Core.Channel.segments channel ~start
+                ~stop:(Core.Simtime.add start (Core.Simtime.span_ms 100)))))
+  in
+  let wan_run =
+    let seed = ref 0 in
+    Test.make ~name:"full WAN run (100KB, basic)"
+      (Staged.stage (fun () ->
+           incr seed;
+           ignore
+             (Core.Wiring.run
+                (Core.Scenario.wan ~scheme:Core.Scenario.Basic ~seed:!seed ()))))
+  in
+  let rng_draws =
+    let rng = Core.Rng.create ~seed:7 in
+    Test.make ~name:"rng exponential draw"
+      (Staged.stage (fun () -> ignore (Core.Rng.exponential rng ~mean:1.0)))
+  in
+  Test.make_grouped ~name:"micro"
+    [ event_queue_cycle; channel_segments; wan_run; rng_draws ]
+
+let micro () =
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg [ instance ] (micro_tests ()) in
+  let results = Analyze.all ols instance raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let cell =
+        match Analyze.OLS.estimates ols_result with
+        | Some (est :: _) ->
+          if est > 1e6 then Printf.sprintf "%.2f ms" (est /. 1e6)
+          else if est > 1e3 then Printf.sprintf "%.2f us" (est /. 1e3)
+          else Printf.sprintf "%.0f ns" est
+        | Some [] | None -> "n/a"
+      in
+      rows := [ name; cell ] :: !rows)
+    results;
+  let rows = List.sort compare !rows in
+  section
+    (String.concat "\n"
+       [
+         Core.Report.heading "Engine micro-benchmarks (Bechamel)";
+         Core.Report.table ~columns:[ "benchmark"; "time/run" ] ~rows;
+       ])
+
+(* ------------------------------------------------------------------ *)
+
+let targets =
+  [
+    ("figs", figs);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("fig10", fig10);
+    ("fig11", fig11);
+    ("advisor", advisor);
+    ("goodput", goodput);
+    ("ablation-schemes", ablation_schemes);
+    ("ablation-quench", ablation_quench);
+    ("ablation-tick", ablation_tick);
+    ("ablation-rtmax", ablation_rtmax);
+    ("ablation-window", ablation_window);
+    ("ablation-pacing", ablation_pacing);
+    ("ablation-window-tcp", ablation_tcp_window);
+    ("ablation-rearm", ablation_rearm);
+    ("ablation-flavor", ablation_flavor);
+    ("ablation-delack", ablation_delack);
+    ("ablation-congestion", ablation_congestion);
+    ("ablation-sched", ablation_sched);
+    ("ablation-handoff", ablation_handoff);
+    ("micro", micro);
+  ]
+
+let flag_prefixes = [ "reps="; "csv=" ]
+
+let is_flag a =
+  List.exists
+    (fun p -> String.length a > String.length p && String.sub a 0 (String.length p) = p)
+    flag_prefixes
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let named, flags = List.partition (fun a -> not (is_flag a)) args in
+  List.iter
+    (fun flag ->
+      match String.index_opt flag '=' with
+      | Some i ->
+        let key = String.sub flag 0 i in
+        let value = String.sub flag (i + 1) (String.length flag - i - 1) in
+        if key = "reps" then replications := int_of_string value
+        else if key = "csv" then csv_dir := Some value
+      | None -> ())
+    flags;
+  let to_run = match named with [] -> List.map fst targets | names -> names in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name targets with
+      | Some f -> f ()
+      | None ->
+        Printf.eprintf "unknown target %S; available: %s\n" name
+          (String.concat ", " (List.map fst targets));
+        exit 2)
+    to_run

@@ -1,0 +1,425 @@
+(* wtcp — command-line front end for the wireless-TCP simulator.
+
+   Subcommands:
+     run      one bulk-transfer simulation, print the metrics
+     trace    deterministic-error packet trace (Figures 3-5 style)
+     advisor  the paper's base-station packet-size table (§4.1)
+     theory   theoretical maximum throughput for an error profile
+     compare  all recovery schemes side by side on one scenario *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type preset = Wan | Lan
+
+let preset_conv =
+  let parse = function
+    | "wan" -> Ok Wan
+    | "lan" -> Ok Lan
+    | s -> Error (`Msg (Printf.sprintf "unknown preset %S (wan|lan)" s))
+  in
+  let print ppf p =
+    Format.pp_print_string ppf (match p with Wan -> "wan" | Lan -> "lan")
+  in
+  Arg.conv (parse, print)
+
+let scheme_conv =
+  let parse s =
+    match
+      List.find_opt
+        (fun scheme -> Core.Scenario.scheme_name scheme = s)
+        Core.Scenario.all_schemes
+    with
+    | Some scheme -> Ok scheme
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown scheme %S (%s)" s
+             (String.concat "|"
+                (List.map Core.Scenario.scheme_name Core.Scenario.all_schemes))))
+  in
+  let print ppf s =
+    Format.pp_print_string ppf (Core.Scenario.scheme_name s)
+  in
+  Arg.conv (parse, print)
+
+let preset_arg =
+  Arg.(
+    value
+    & opt preset_conv Wan
+    & info [ "p"; "preset" ] ~docv:"PRESET"
+        ~doc:"Topology preset: $(b,wan) (56kbps/19.2kbps, 128B MTU) or \
+              $(b,lan) (10Mbps/2Mbps, no fragmentation).")
+
+let scheme_arg =
+  Arg.(
+    value
+    & opt scheme_conv Core.Scenario.Basic
+    & info [ "s"; "scheme" ] ~docv:"SCHEME"
+        ~doc:"Recovery scheme: basic, local-recovery, ebsn, quench, snoop \
+              or split.")
+
+let packet_size_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "packet-size" ] ~docv:"BYTES"
+        ~doc:"Wired-network packet size incl. 40-byte header (default: \
+              576 WAN, 1536 LAN).")
+
+let bad_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "bad" ] ~docv:"SEC"
+        ~doc:"Mean bad-period length in seconds (default: 4 WAN, 1 LAN).")
+
+let good_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "good" ] ~docv:"SEC"
+        ~doc:"Mean good-period length in seconds (default: 10 WAN, 4 LAN).")
+
+let file_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "file" ] ~docv:"BYTES"
+        ~doc:"Transfer size in bytes (default: 100KB WAN, 4MB LAN).")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+let verbose_arg =
+  Arg.(
+    value & flag
+    & info [ "v"; "verbose" ]
+        ~doc:"Log simulator events (timeouts, EBSNs, source sends) to \
+              stderr while running.")
+
+let flavor_arg =
+  let flavor_conv =
+    let parse = function
+      | "tahoe" -> Ok Core.Tcp_config.Tahoe
+      | "reno" -> Ok Core.Tcp_config.Reno
+      | "sack" -> Ok Core.Tcp_config.Sack
+      | f -> Error (`Msg (Printf.sprintf "unknown flavor %S (tahoe|reno|sack)" f))
+    in
+    let print ppf f =
+      Format.pp_print_string ppf (Core.Tcp_config.flavor_name f)
+    in
+    Arg.conv (parse, print)
+  in
+  Arg.(
+    value
+    & opt flavor_conv Core.Tcp_config.Tahoe
+    & info [ "flavor" ] ~docv:"FLAVOR"
+        ~doc:"TCP congestion-control variant: tahoe (paper), reno or sack.")
+
+let deterministic_arg =
+  Arg.(
+    value & flag
+    & info [ "deterministic" ]
+        ~doc:"Use constant good/bad period lengths (the paper's Figures \
+              3-5 model) instead of the two-state Markov model.")
+
+let build_scenario ?(flavor = Core.Tcp_config.Tahoe) ?(verbose = false) preset
+    scheme packet_size bad good file seed deterministic =
+  if verbose then Core.Slog.set_level (Some Logs.Debug);
+  let error_mode =
+    if deterministic then Core.Scenario.Deterministic else Core.Scenario.Markov
+  in
+  let s =
+    match preset with
+    | Wan ->
+      Core.Scenario.wan ~scheme ?packet_size ?mean_bad_sec:bad
+        ?mean_good_sec:good ?file_bytes:file ~seed ~error_mode ()
+    | Lan ->
+      Core.Scenario.lan ~scheme ?packet_size ?mean_bad_sec:bad
+        ?mean_good_sec:good ?file_bytes:file ~seed ~error_mode ()
+  in
+  { s with Core.Scenario.tcp = { s.Core.Scenario.tcp with Core.Tcp_config.flavor } }
+
+let scenario_term =
+  let assemble flavor verbose preset scheme packet_size bad good file seed
+      deterministic =
+    build_scenario ~flavor ~verbose preset scheme packet_size bad good file
+      seed deterministic
+  in
+  Term.(
+    const assemble $ flavor_arg $ verbose_arg $ preset_arg $ scheme_arg
+    $ packet_size_arg $ bad_arg $ good_arg $ file_arg $ seed_arg
+    $ deterministic_arg)
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let print_outcome scenario outcome =
+  let open Core in
+  Printf.printf "scenario: %s\n" (Scenario.describe scenario);
+  if not outcome.Wiring.completed then
+    print_endline "transfer did NOT complete within the horizon"
+  else begin
+    let m = Run.outcome_measurement outcome in
+    Printf.printf "throughput: %.2f kbit/s (tput_th %.2f kbit/s)\n"
+      (m.Run.throughput_bps /. 1e3)
+      (Theory.tput_th_scenario scenario /. 1e3);
+    Printf.printf "goodput:    %.3f\n" m.Run.goodput;
+    Printf.printf "duration:   %.1f s\n" m.Run.duration_sec;
+    Printf.printf "source:     %d timeouts, %d fast retransmits, %.1f KB \
+                   retransmitted\n"
+      m.Run.source_timeouts m.Run.fast_retransmits m.Run.retransmitted_kbytes;
+    Printf.printf "feedback:   %d EBSN sent, %d received; %d quench sent\n"
+      outcome.Wiring.ebsn_sent m.Run.ebsn_received outcome.Wiring.quench_sent;
+    (match outcome.Wiring.arq_stats with
+    | Some a ->
+      Printf.printf
+        "link ARQ:   %d transmissions (%d retx), %d discards, %d attempt \
+         failures\n"
+        a.Arq.transmissions a.Arq.retransmissions a.Arq.discards
+        a.Arq.attempt_failures
+    | None -> ());
+    match outcome.Wiring.snoop_stats with
+    | Some s ->
+      Printf.printf "snoop:      %d cached, %d local retx, %d dupacks \
+                     suppressed\n"
+        s.Snoop.cached s.Snoop.local_retransmits s.Snoop.dupacks_suppressed
+    | None -> ()
+  end
+
+let run_cmd =
+  let nstrace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "nstrace" ] ~docv:"FILE"
+          ~doc:"Write an NS-style per-link event trace to $(docv).")
+  in
+  let action scenario nstrace_path =
+    let scenario =
+      match nstrace_path with
+      | Some _ -> { scenario with Core.Scenario.collect_nstrace = true }
+      | None -> scenario
+    in
+    let outcome = Core.Wiring.run scenario in
+    print_outcome scenario outcome;
+    match nstrace_path, outcome.Core.Wiring.nstrace with
+    | Some path, Some trace ->
+      let oc = open_out path in
+      output_string oc trace;
+      close_out oc;
+      Printf.printf "nstrace:    %s\n" path
+    | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one bulk-transfer simulation")
+    Term.(const action $ scenario_term $ nstrace_arg)
+
+(* ------------------------------------------------------------------ *)
+(* trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let trace_cmd =
+  let window_arg =
+    Arg.(
+      value & opt float 60.0
+      & info [ "window" ] ~docv:"SEC" ~doc:"Plotted window in seconds.")
+  in
+  let action preset scheme packet_size bad good file seed window =
+    let scenario =
+      build_scenario preset scheme packet_size bad good file seed true
+    in
+    let outcome = Core.Wiring.run scenario in
+    let until = Core.Simtime.of_ns (int_of_float (window *. 1e9)) in
+    print_endline (Core.Scenario.describe scenario);
+    print_endline
+      (Core.Timeseq.render ~until (Core.Trace.sends outcome.Core.Wiring.trace));
+    print_outcome scenario outcome
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Packet trace under deterministic errors (Figures 3-5 style)")
+    Term.(
+      const action $ preset_arg $ scheme_arg $ packet_size_arg $ bad_arg
+      $ good_arg $ file_arg $ seed_arg $ window_arg)
+
+(* ------------------------------------------------------------------ *)
+(* advisor                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let advisor_cmd =
+  let bads_arg =
+    Arg.(
+      value
+      & opt (list float) [ 1.0; 2.0; 3.0; 4.0 ]
+      & info [ "bad-periods" ] ~docv:"SECS"
+          ~doc:"Comma-separated mean bad-period lengths to tabulate.")
+  in
+  let reps_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "replications" ] ~docv:"N" ~doc:"Runs per data point.")
+  in
+  let action bads replications =
+    let table =
+      Core.Packet_size_advisor.build_table ~replications ~mean_bad_secs:bads ()
+    in
+    print_endline "bad(s)  best packet size  throughput";
+    List.iter
+      (fun e ->
+        Printf.printf "%-7.1f %-17d %.2f kbit/s (%+.0f%% vs worst)\n"
+          e.Core.Packet_size_advisor.mean_bad_sec
+          e.Core.Packet_size_advisor.best_size
+          (e.Core.Packet_size_advisor.best_throughput_bps /. 1e3)
+          (100.0 *. e.Core.Packet_size_advisor.gain_over_worst))
+      table
+  in
+  Cmd.v
+    (Cmd.info "advisor"
+       ~doc:"Build the base station's packet-size table (paper §4.1)")
+    Term.(const action $ bads_arg $ reps_arg)
+
+(* ------------------------------------------------------------------ *)
+(* theory                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let theory_cmd =
+  let action preset bad good =
+    let scenario =
+      build_scenario preset Core.Scenario.Basic None bad good None 1 false
+    in
+    Printf.printf "tput_max: %.2f kbit/s\n"
+      (Core.Scenario.effective_wireless_bps scenario /. 1e3);
+    Printf.printf "tput_th:  %.2f kbit/s\n"
+      (Core.Theory.tput_th_scenario scenario /. 1e3)
+  in
+  Cmd.v
+    (Cmd.info "theory"
+       ~doc:"Theoretical maximum throughput for an error profile")
+    Term.(const action $ preset_arg $ bad_arg $ good_arg)
+
+(* ------------------------------------------------------------------ *)
+(* compare                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let compare_cmd =
+  let reps_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "replications" ] ~docv:"N" ~doc:"Runs per scheme.")
+  in
+  let action preset packet_size bad good file seed replications =
+    Printf.printf "%-16s %10s %9s %9s %9s\n" "scheme" "tput kbps" "goodput"
+      "retx KB" "timeouts";
+    List.iter
+      (fun scheme ->
+        let scenario =
+          build_scenario preset scheme packet_size bad good file seed false
+        in
+        let metric f =
+          (Core.Sweep.replicate ~replications scenario ~metric:f)
+            .Core.Summary.mean
+        in
+        Printf.printf "%-16s %10.2f %9.3f %9.1f %9.1f\n"
+          (Core.Scenario.scheme_name scheme)
+          (metric Core.Sweep.throughput /. 1e3)
+          (metric Core.Sweep.goodput)
+          (metric Core.Sweep.retransmitted_kbytes)
+          (metric Core.Sweep.timeouts))
+      Core.Scenario.all_schemes
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"All recovery schemes side by side")
+    Term.(
+      const action $ preset_arg $ packet_size_arg $ bad_arg $ good_arg
+      $ file_arg $ seed_arg $ reps_arg)
+
+(* ------------------------------------------------------------------ *)
+(* handoff                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let handoff_cmd =
+  let blackout_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "blackout" ] ~docv:"SEC" ~doc:"Handoff blackout length.")
+  in
+  let residence_arg =
+    Arg.(
+      value & opt float 8.0
+      & info [ "residence" ] ~docv:"SEC" ~doc:"Cell residence time.")
+  in
+  let action blackout residence seed =
+    Printf.printf "%-18s %10s %9s %10s %9s\n" "policy" "tput kbps" "timeouts"
+      "fast retx" "handoffs";
+    List.iter
+      (fun policy ->
+        let r =
+          Core.Handoff.run ~blackout_sec:blackout ~residence_sec:residence
+            ~seed ~policy ()
+        in
+        Printf.printf "%-18s %10.2f %9d %10d %9d\n"
+          (Core.Handoff.policy_name policy)
+          (r.Core.Handoff.throughput_bps /. 1e3)
+          r.Core.Handoff.source_timeouts r.Core.Handoff.fast_retransmits
+          r.Core.Handoff.handoffs)
+      [ Core.Handoff.Plain; Core.Handoff.Fast_rtx; Core.Handoff.Fast_rtx_reroute ]
+  in
+  Cmd.v
+    (Cmd.info "handoff"
+       ~doc:"Handoff experiment: plain TCP vs fast retransmit on re-attach")
+    Term.(const action $ blackout_arg $ residence_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* csdp                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let csdp_cmd =
+  let conns_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "connections" ] ~docv:"N" ~doc:"Connections sharing the radio.")
+  in
+  let action n_conns seed =
+    List.iter
+      (fun policy ->
+        let r = Core.Csdp.run ~n_conns ~seed ~policy () in
+        Printf.printf "%s:\n"
+          (match policy with
+          | Core.Sched.Fifo -> "fifo"
+          | Core.Sched.Round_robin -> "round-robin");
+        List.iter
+          (fun c ->
+            Printf.printf "  conn %d: %.2f kbps%s\n" c.Core.Csdp.conn
+              (c.Core.Csdp.throughput_bps /. 1e3)
+              (if c.Core.Csdp.completed then "" else " (incomplete)"))
+          r.Core.Csdp.per_conn;
+        Printf.printf "  aggregate: %.2f kbps\n" (r.Core.Csdp.aggregate_bps /. 1e3))
+      [ Core.Sched.Fifo; Core.Sched.Round_robin ]
+  in
+  Cmd.v
+    (Cmd.info "csdp"
+       ~doc:"Shared-radio scheduling: FIFO vs round-robin (CSDP)")
+    Term.(const action $ conns_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let info =
+    Cmd.info "wtcp" ~version:"1.0.0"
+      ~doc:
+        "Simulator for TCP over wireless links: packet-size selection, \
+         local recovery and EBSN (Bakshi et al., ICDCS 1997)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            run_cmd; trace_cmd; advisor_cmd; theory_cmd; compare_cmd;
+            handoff_cmd; csdp_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/ftp_over_cdpd.ml: Core Printf

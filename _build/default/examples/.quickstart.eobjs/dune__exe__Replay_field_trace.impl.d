@@ -1,0 +1,1 @@
+examples/replay_field_trace.ml: Channel_state Core List Printf Run Scenario Simtime String Wiring

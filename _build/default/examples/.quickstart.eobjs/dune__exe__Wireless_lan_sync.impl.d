@@ -1,0 +1,1 @@
+examples/wireless_lan_sync.ml: Core List Printf

@@ -1,0 +1,27 @@
+(* Quickstart: run the paper's wide-area scenario under basic TCP and
+   under TCP with EBSN, and print the paper's two metrics.
+
+     dune exec examples/quickstart.exe *)
+
+let () =
+  print_endline "wireless-tcp quickstart";
+  print_endline "=======================";
+  List.iter
+    (fun scheme ->
+      (* A 100 KB transfer from a fixed host to a mobile host across a
+         56 kbps wired link and a bursty 19.2 kbps wireless link
+         (mean good period 10 s, mean bad period 4 s). *)
+      let scenario = Core.Scenario.wan ~scheme ~mean_bad_sec:4.0 ~seed:42 () in
+      let outcome = Core.Wiring.run scenario in
+      let m = Core.Run.outcome_measurement outcome in
+      Printf.printf
+        "%-15s throughput %.2f kbit/s | goodput %.3f | %d source timeouts\n"
+        (Core.Scenario.scheme_name scheme)
+        (m.Core.Run.throughput_bps /. 1e3)
+        m.Core.Run.goodput m.Core.Run.source_timeouts)
+    [ Core.Scenario.Basic; Core.Scenario.Local_recovery; Core.Scenario.Ebsn ];
+  Printf.printf
+    "long-run theoretical maximum: %.2f kbit/s (a single seed's channel \
+     can be luckier)\n"
+    (Core.Theory.tput_th_scenario (Core.Scenario.wan ~mean_bad_sec:4.0 ())
+    /. 1e3)

@@ -1,0 +1,1 @@
+lib/agents/snoop.ml: Address Hashtbl Netsim Packet Sim_engine Simtime Simulator Stdlib

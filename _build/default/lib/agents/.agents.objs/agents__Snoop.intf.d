@@ -1,0 +1,1 @@
+lib/agents/snoop.mli: Netsim Sim_engine

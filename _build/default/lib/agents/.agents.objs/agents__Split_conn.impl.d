@@ -1,0 +1,1 @@
+lib/agents/split_conn.ml: Address Netsim Packet Tahoe_sender Tcp_sink Tcp_tahoe

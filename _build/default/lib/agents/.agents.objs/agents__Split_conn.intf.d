@@ -1,0 +1,1 @@
+lib/agents/split_conn.mli: Netsim Sim_engine Tcp_tahoe

@@ -1,0 +1,48 @@
+(** Snoop agent (Balakrishnan et al. [11]) at the base station.
+
+    A transport-aware cache of TCP data packets headed for the mobile
+    host.  Losses are detected from duplicate acknowledgements flowing
+    back and from a local timer; the agent retransmits locally from
+    its cache and suppresses the duplicate acks so the source never
+    notices.  The paper's §2 comparison point: unlike EBSN it keeps
+    per-connection state at the base station, and the source can still
+    time out while the agent is recovering. *)
+
+type config = {
+  local_rto_initial : Sim_engine.Simtime.span;  (** before any RTT sample *)
+  local_rto_min : Sim_engine.Simtime.span;  (** floor on the local timer *)
+  max_local_retransmits : int;  (** per cached packet *)
+}
+
+val default_config : config
+(** 500 ms initial, 100 ms floor, 10 local retransmissions. *)
+
+type stats = {
+  cached : int;  (** data packets inserted into the cache *)
+  local_retransmits : int;
+  dupacks_suppressed : int;
+  local_timeouts : int;
+  cache_misses : int;  (** dupacks for packets not in the cache *)
+}
+
+type t
+(** A snoop agent for one wireless hop. *)
+
+val create :
+  Sim_engine.Simulator.t ->
+  config:config ->
+  mobile:Netsim.Address.t ->
+  send_downlink:(Netsim.Packet.t -> unit) ->
+  t
+(** An agent watching traffic to/from [mobile], re-injecting cached
+    packets through [send_downlink]. *)
+
+val on_forward : t -> Netsim.Packet.t -> bool
+(** Wire as the base-station node's forward hook.  Returns [true]
+    when the packet (a suppressed duplicate ack) must not be
+    forwarded. *)
+
+val cache_size : t -> int
+(** Packets currently cached (per all connections). *)
+
+val stats : t -> stats

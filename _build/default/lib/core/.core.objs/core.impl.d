@@ -1,0 +1,1 @@
+lib/core/core.ml: Agents Error_model Experiments Feedback Link_arq Metrics Netsim Packet_size_advisor Sim_engine Tcp_tahoe Topology

@@ -1,0 +1,1 @@
+lib/core/packet_size_advisor.ml: Experiments Float List Metrics Scenario Topology

@@ -1,0 +1,1 @@
+lib/core/packet_size_advisor.mli:

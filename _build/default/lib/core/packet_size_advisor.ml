@@ -1,0 +1,65 @@
+open Topology
+
+type entry = {
+  mean_bad_sec : float;
+  best_size : int;
+  best_throughput_bps : float;
+  gain_over_worst : float;
+}
+
+let default_candidates =
+  [ 128; 256; 384; 512; 640; 768; 896; 1024; 1152; 1280; 1408; 1536 ]
+
+let evaluate ?replications ?(candidates = default_candidates) ~mean_bad_sec ()
+    =
+  if candidates = [] then invalid_arg "Packet_size_advisor: no candidates";
+  let sweep =
+    List.map
+      (fun size ->
+        let scenario =
+          Scenario.wan ~scheme:Scenario.Basic ~packet_size:size ~mean_bad_sec
+            ()
+        in
+        let summary =
+          Experiments.Sweep.replicate ?replications scenario
+            ~metric:Experiments.Sweep.throughput
+        in
+        (size, summary.Metrics.Summary.mean))
+      candidates
+  in
+  let best_size, best_throughput_bps =
+    List.fold_left
+      (fun (bs, bv) (size, v) -> if v > bv then (size, v) else (bs, bv))
+      (0, Float.neg_infinity) sweep
+  in
+  let worst =
+    List.fold_left (fun acc (_, v) -> Float.min acc v) Float.infinity sweep
+  in
+  ( {
+      mean_bad_sec;
+      best_size;
+      best_throughput_bps;
+      gain_over_worst =
+        (if worst > 0.0 then (best_throughput_bps /. worst) -. 1.0 else 0.0);
+    },
+    sweep )
+
+let build_table ?replications ?candidates ~mean_bad_secs () =
+  List.map
+    (fun mean_bad_sec ->
+      fst (evaluate ?replications ?candidates ~mean_bad_sec ()))
+    mean_bad_secs
+
+let lookup table ~mean_bad_sec =
+  match table with
+  | [] -> None
+  | _ ->
+    Some
+      (List.fold_left
+         (fun best entry ->
+           if
+             Float.abs (entry.mean_bad_sec -. mean_bad_sec)
+             < Float.abs (best.mean_bad_sec -. mean_bad_sec)
+           then entry
+           else best)
+         (List.hd table) table)

@@ -1,0 +1,1 @@
+lib/engine/rng.ml: Float Int64 Stdlib

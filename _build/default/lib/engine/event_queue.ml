@@ -1,0 +1,111 @@
+type 'a entry = {
+  time : Simtime.t;
+  order : int;
+  value : 'a;
+  mutable live : bool;
+}
+
+type handle = H : 'a entry -> handle
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  (* heap.(0) is unused padding when empty; we grow on demand. *)
+  mutable size : int;
+  mutable next_order : int;
+  mutable live_count : int;
+}
+
+let create () = { heap = [||]; size = 0; next_order = 0; live_count = 0 }
+
+let length t = t.live_count
+let is_empty t = t.live_count = 0
+
+let entry_before a b =
+  match Simtime.compare a.time b.time with
+  | 0 -> a.order < b.order
+  | c -> c < 0
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_before t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = i in
+  let smallest =
+    if left < t.size && entry_before t.heap.(left) t.heap.(smallest) then left
+    else smallest
+  in
+  let smallest =
+    if right < t.size && entry_before t.heap.(right) t.heap.(smallest) then right
+    else smallest
+  in
+  if smallest <> i then begin
+    swap t i smallest;
+    sift_down t smallest
+  end
+
+let grow t entry =
+  let capacity = Array.length t.heap in
+  if t.size = capacity then begin
+    let capacity' = Stdlib.max 16 (2 * capacity) in
+    let heap' = Array.make capacity' entry in
+    Array.blit t.heap 0 heap' 0 t.size;
+    t.heap <- heap'
+  end
+
+let add t ~time value =
+  let entry = { time; order = t.next_order; value; live = true } in
+  t.next_order <- t.next_order + 1;
+  grow t entry;
+  t.heap.(t.size) <- entry;
+  t.size <- t.size + 1;
+  t.live_count <- t.live_count + 1;
+  sift_up t (t.size - 1);
+  H entry
+
+let cancel t (H entry) =
+  if entry.live then begin
+    entry.live <- false;
+    t.live_count <- t.live_count - 1
+  end
+
+let is_live _t (H entry) = entry.live
+
+let pop_root t =
+  let root = t.heap.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.heap.(0) <- t.heap.(t.size);
+    sift_down t 0
+  end;
+  root
+
+let rec pop t =
+  if t.size = 0 then None
+  else
+    let root = pop_root t in
+    if root.live then begin
+      root.live <- false;
+      t.live_count <- t.live_count - 1;
+      Some (root.time, root.value)
+    end
+    else pop t
+
+let rec peek_time t =
+  if t.size = 0 then None
+  else if t.heap.(0).live then Some t.heap.(0).time
+  else begin
+    ignore (pop_root t);
+    peek_time t
+  end

@@ -1,0 +1,37 @@
+(** Pending-event set for the discrete-event simulator.
+
+    A binary min-heap ordered by (time, insertion number), so events
+    scheduled for the same instant fire in the order they were
+    scheduled.  Cancellation is O(1) (lazy deletion: cancelled entries
+    are skipped when popped). *)
+
+type 'a t
+(** A queue of events carrying values of type ['a]. *)
+
+type handle
+(** Identifies a scheduled event, for cancellation. *)
+
+val create : unit -> 'a t
+(** An empty queue. *)
+
+val length : 'a t -> int
+(** Number of live (non-cancelled) events. *)
+
+val is_empty : 'a t -> bool
+(** [true] iff no live event is pending. *)
+
+val add : 'a t -> time:Simtime.t -> 'a -> handle
+(** Schedule a value at the given time. *)
+
+val cancel : 'a t -> handle -> unit
+(** Remove a scheduled event.  Cancelling an event that already fired
+    or was already cancelled is a no-op. *)
+
+val is_live : 'a t -> handle -> bool
+(** [true] iff the event is still pending (not fired, not cancelled). *)
+
+val peek_time : 'a t -> Simtime.t option
+(** Time of the earliest live event, if any. *)
+
+val pop : 'a t -> (Simtime.t * 'a) option
+(** Remove and return the earliest live event. *)

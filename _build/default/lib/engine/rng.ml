@@ -1,0 +1,74 @@
+type t = { mutable state : int64 }
+
+(* splitmix64: passes BigCrush, one multiply-xor-shift chain per draw. *)
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create ~seed = { state = Int64.of_int seed }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed64 = bits64 t in
+  { state = mix seed64 }
+
+let copy t = { state = t.state }
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection-free for our purposes: modulo bias is < 2^-30 for any
+     bound used in this simulator.  Keep 62 bits so the value fits
+     OCaml's 63-bit int as a non-negative number. *)
+  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  v mod n
+
+let uniform t =
+  (* 53 random bits into the mantissa: uniform on [0, 1). *)
+  let bits = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  float_of_int bits *. 0x1p-53
+
+let float t x =
+  if not (Float.is_finite x) || x <= 0.0 then
+    invalid_arg "Rng.float: bound must be positive and finite";
+  uniform t *. x
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let exponential t ~mean =
+  if not (Float.is_finite mean) || mean <= 0.0 then
+    invalid_arg "Rng.exponential: mean must be positive";
+  let u = 1.0 -. uniform t in
+  -.mean *. log u
+
+let poisson t ~mean =
+  if not (Float.is_finite mean) || mean < 0.0 then
+    invalid_arg "Rng.poisson: mean must be non-negative";
+  if mean = 0.0 then 0
+  else if mean > 500.0 then begin
+    (* Normal approximation; exact sampling is never needed at this
+       scale and Knuth's product would underflow. *)
+    let u1 = 1.0 -. uniform t and u2 = uniform t in
+    let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+    Stdlib.max 0 (int_of_float (Float.round (mean +. (z *. sqrt mean))))
+  end
+  else begin
+    let limit = exp (-.mean) in
+    let rec loop k prod =
+      let prod = prod *. uniform t in
+      if prod <= limit then k else loop (k + 1) prod
+    in
+    loop 0 1.0
+  end
+
+let geometric t ~p =
+  if not (p > 0.0 && p <= 1.0) then invalid_arg "Rng.geometric: p outside (0,1]";
+  if p = 1.0 then 0
+  else
+    let u = 1.0 -. uniform t in
+    int_of_float (Float.of_int 0 +. floor (log u /. log (1.0 -. p)))

@@ -1,0 +1,72 @@
+type t = {
+  mutable clock : Simtime.t;
+  queue : (unit -> unit) Event_queue.t;
+  root_rng : Rng.t;
+  mutable stopping : bool;
+}
+
+type event = Event_queue.handle
+
+let create ?(seed = 1) () =
+  {
+    clock = Simtime.zero;
+    queue = Event_queue.create ();
+    root_rng = Rng.create ~seed;
+    stopping = false;
+  }
+
+let now t = t.clock
+let rng t = t.root_rng
+
+let schedule t ~at f =
+  if Simtime.(at < t.clock) then
+    invalid_arg "Simulator.schedule: time is in the past";
+  Event_queue.add t.queue ~time:at f
+
+let schedule_after t ~delay f = schedule t ~at:(Simtime.add t.clock delay) f
+let cancel t event = Event_queue.cancel t.queue event
+let is_pending t event = Event_queue.is_live t.queue event
+let pending_events t = Event_queue.length t.queue
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+    t.clock <- time;
+    f ();
+    true
+
+let run ?until ?max_events t =
+  t.stopping <- false;
+  let executed = ref 0 in
+  let within_budget () =
+    match max_events with None -> true | Some n -> !executed < n
+  in
+  let within_horizon () =
+    match until with
+    | None -> true
+    | Some horizon -> (
+      match Event_queue.peek_time t.queue with
+      | None -> false
+      | Some next -> Simtime.(next <= horizon))
+  in
+  while
+    (not t.stopping)
+    && within_budget ()
+    && within_horizon ()
+    && step t
+  do
+    incr executed
+  done;
+  (* When stopped by the horizon, advance the clock to it so callers
+     can schedule relative to the requested stop time. *)
+  match until with
+  | Some horizon when Simtime.(t.clock < horizon) && not t.stopping ->
+    if
+      match Event_queue.peek_time t.queue with
+      | None -> false
+      | Some next -> Simtime.(next > horizon)
+    then t.clock <- horizon
+  | _ -> ()
+
+let stop t = t.stopping <- true

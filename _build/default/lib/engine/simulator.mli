@@ -1,0 +1,54 @@
+(** Discrete-event simulation core.
+
+    A simulator owns a virtual clock and a pending-event set.  Model
+    components schedule closures; {!run} executes them in timestamp
+    order, advancing the clock.  All randomness flows through the
+    simulator's root {!Rng.t} (or streams {!Rng.split} from it), so a
+    run is a pure function of its seed. *)
+
+type t
+(** A simulator instance. *)
+
+type event
+(** A scheduled-event handle, used for cancellation. *)
+
+val create : ?seed:int -> unit -> t
+(** [create ~seed ()] is a fresh simulator with clock at
+    {!Simtime.zero}.  Default seed is 1. *)
+
+val now : t -> Simtime.t
+(** Current virtual time. *)
+
+val rng : t -> Rng.t
+(** The simulator's root random stream.  Components needing their own
+    stream should take [Rng.split (rng sim)] at construction time. *)
+
+val schedule : t -> at:Simtime.t -> (unit -> unit) -> event
+(** Schedule a closure at an absolute time.
+    @raise Invalid_argument if [at] is in the simulated past. *)
+
+val schedule_after : t -> delay:Simtime.span -> (unit -> unit) -> event
+(** Schedule a closure [delay] after the current time. *)
+
+val cancel : t -> event -> unit
+(** Cancel a scheduled event; no-op if it already fired or was
+    cancelled. *)
+
+val is_pending : t -> event -> bool
+(** [true] iff the event has neither fired nor been cancelled. *)
+
+val pending_events : t -> int
+(** Number of events waiting to fire. *)
+
+val step : t -> bool
+(** Execute the earliest pending event.  Returns [false] if none was
+    pending. *)
+
+val run : ?until:Simtime.t -> ?max_events:int -> t -> unit
+(** Execute events in order until the queue drains, the clock passes
+    [until], or [max_events] events have fired.  Events scheduled
+    beyond [until] remain pending. *)
+
+val stop : t -> unit
+(** Make the current {!run} return after the executing event
+    completes.  Pending events are kept. *)

@@ -1,0 +1,34 @@
+let src = Logs.Src.create "wtcp.sim" ~doc:"Wireless-TCP simulator"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let set_level level =
+  Logs.Src.set_level src level;
+  if Logs.reporter () == Logs.nop_reporter then
+    Logs.set_reporter (Logs.format_reporter ())
+
+let rank = function
+  | Logs.App -> 0
+  | Logs.Error -> 1
+  | Logs.Warning -> 2
+  | Logs.Info -> 3
+  | Logs.Debug -> 4
+
+let enabled level =
+  match Logs.Src.level src with
+  | None -> false
+  | Some threshold -> rank level <= rank threshold
+
+(* The message string is only rendered when the level is enabled, so a
+   disabled source costs one comparison per call. *)
+let stamped level sim fmt =
+  if not (enabled level) then Format.ikfprintf ignore Format.str_formatter fmt
+  else
+    Format.kasprintf
+      (fun s ->
+        Logs.msg ~src level (fun m ->
+            m "[%a] %s" Simtime.pp (Simulator.now sim) s))
+      fmt
+
+let debug sim fmt = stamped Logs.Debug sim fmt
+let info sim fmt = stamped Logs.Info sim fmt

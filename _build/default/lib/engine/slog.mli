@@ -1,0 +1,17 @@
+(** Simulation logging.
+
+    Thin wrapper over [Logs] that prefixes messages with the virtual
+    clock.  Disabled (the default) it costs one branch per call. *)
+
+val src : Logs.src
+(** The log source for simulator internals ("wtcp.sim"). *)
+
+val set_level : Logs.level option -> unit
+(** Set verbosity for all simulator sources and install a reporter on
+    stderr if none is installed. *)
+
+val debug : Simulator.t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Debug-level message stamped with the current simulated time. *)
+
+val info : Simulator.t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Info-level message stamped with the current simulated time. *)

@@ -1,0 +1,1 @@
+lib/errors/channel.ml: Channel_state List Sim_engine Simtime

@@ -1,0 +1,1 @@
+lib/errors/channel.mli: Channel_state Sim_engine

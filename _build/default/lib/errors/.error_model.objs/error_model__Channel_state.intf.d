@@ -1,0 +1,1 @@
+lib/errors/channel_state.mli: Format

@@ -1,0 +1,1 @@
+lib/errors/deterministic_channel.ml: Channel Channel_state Format Sim_engine Simtime State_timeline

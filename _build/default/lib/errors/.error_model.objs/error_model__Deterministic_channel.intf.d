@@ -1,0 +1,1 @@
+lib/errors/deterministic_channel.mli: Channel Sim_engine

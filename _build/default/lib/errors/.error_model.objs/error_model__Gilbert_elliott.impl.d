@@ -1,0 +1,1 @@
+lib/errors/gilbert_elliott.ml: Channel Channel_state Format Rng Sim_engine Simtime State_timeline

@@ -1,0 +1,1 @@
+lib/errors/gilbert_elliott.mli: Channel Sim_engine

@@ -1,0 +1,1 @@
+lib/errors/loss.ml: Channel_state List Rng Sim_engine Simtime

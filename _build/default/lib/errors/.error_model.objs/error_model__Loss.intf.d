@@ -1,0 +1,1 @@
+lib/errors/loss.mli: Channel_state Sim_engine

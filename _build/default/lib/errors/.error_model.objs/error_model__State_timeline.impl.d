@@ -1,0 +1,1 @@
+lib/errors/state_timeline.ml: Array Channel_state List Sim_engine Simtime

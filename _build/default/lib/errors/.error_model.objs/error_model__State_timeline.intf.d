@@ -1,0 +1,1 @@
+lib/errors/state_timeline.mli: Channel_state Sim_engine

@@ -1,0 +1,1 @@
+lib/errors/trace_channel.ml: Array Channel List Printf Sim_engine Simtime

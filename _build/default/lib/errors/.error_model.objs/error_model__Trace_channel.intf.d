@@ -1,0 +1,1 @@
+lib/errors/trace_channel.mli: Channel Channel_state Sim_engine

@@ -1,0 +1,1 @@
+lib/errors/uniform_channel.ml: Channel Channel_state Format Sim_engine Simtime

@@ -1,0 +1,1 @@
+lib/errors/uniform_channel.mli: Channel Channel_state

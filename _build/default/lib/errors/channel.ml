@@ -1,0 +1,27 @@
+open Sim_engine
+
+type t = {
+  description : string;
+  segments_fn :
+    start:Simtime.t -> stop:Simtime.t -> (Channel_state.t * Simtime.span) list;
+}
+
+let make ~description ~segments = { description; segments_fn = segments }
+let description t = t.description
+
+let segments t ~start ~stop =
+  if Simtime.(stop <= start) then [] else t.segments_fn ~start ~stop
+
+let state_at t at =
+  match
+    segments t ~start:at ~stop:(Simtime.add at (Simtime.span_ns 1))
+  with
+  | (state, _) :: _ -> state
+  | [] -> Channel_state.Good
+
+let time_in_state t ~start ~stop state =
+  List.fold_left
+    (fun acc (s, d) ->
+      if Channel_state.equal s state then Simtime.span_add acc d else acc)
+    Simtime.span_zero
+    (segments t ~start ~stop)

@@ -1,0 +1,43 @@
+(** Channel state processes.
+
+    A channel is a piecewise-constant function from simulated time to
+    {!Channel_state.t}.  Implementations materialise their state
+    timeline lazily; queries may arrive in any time order (the two
+    directions of a wireless link interleave), so the timeline is
+    cached once generated. *)
+
+type t
+(** A channel state process. *)
+
+val make :
+  description:string ->
+  segments:
+    (start:Sim_engine.Simtime.t ->
+    stop:Sim_engine.Simtime.t ->
+    (Channel_state.t * Sim_engine.Simtime.span) list) ->
+  t
+(** Build a channel from a segment query.  [segments ~start ~stop]
+    must return the channel states covering [[start, stop)] in order,
+    with durations summing to [stop - start]. *)
+
+val description : t -> string
+(** Human-readable description (for reports). *)
+
+val segments :
+  t ->
+  start:Sim_engine.Simtime.t ->
+  stop:Sim_engine.Simtime.t ->
+  (Channel_state.t * Sim_engine.Simtime.span) list
+(** States covering [[start, stop)], in order, durations summing to
+    [stop - start].  Returns [[]] if [stop <= start]. *)
+
+val state_at : t -> Sim_engine.Simtime.t -> Channel_state.t
+(** The state at a single instant. *)
+
+val time_in_state :
+  t ->
+  start:Sim_engine.Simtime.t ->
+  stop:Sim_engine.Simtime.t ->
+  Channel_state.t ->
+  Sim_engine.Simtime.span
+(** Total time spent in the given state during [[start, stop)]. *)

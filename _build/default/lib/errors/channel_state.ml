@@ -1,0 +1,11 @@
+type t = Good | Bad
+
+let equal a b = match a, b with
+  | Good, Good | Bad, Bad -> true
+  | Good, Bad | Bad, Good -> false
+
+let pp ppf = function
+  | Good -> Format.pp_print_string ppf "good"
+  | Bad -> Format.pp_print_string ppf "bad"
+
+let flip = function Good -> Bad | Bad -> Good

@@ -1,0 +1,13 @@
+(** Wireless channel state.
+
+    The two states of the paper's burst-error model (Figure 1): a
+    [Good] state with a low bit-error rate and a [Bad] state (deep
+    fade) with a high one. *)
+
+type t = Good | Bad
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val flip : t -> t
+(** The other state. *)

@@ -1,0 +1,11 @@
+(** Deterministic alternating channel.
+
+    The simplified model of the paper's §4.2.1 example (Figures 3–5):
+    state durations are constant — good for exactly [good], bad for
+    exactly [bad] — so that the identical loss pattern can be replayed
+    under basic TCP, local recovery and EBSN. *)
+
+val create :
+  good:Sim_engine.Simtime.span -> bad:Sim_engine.Simtime.span -> Channel.t
+(** A channel starting Good at time zero and alternating with fixed
+    period lengths.  @raise Invalid_argument if either span is zero. *)

@@ -1,0 +1,28 @@
+open Sim_engine
+
+type ber = { good : float; bad : float }
+
+let paper_ber = { good = 1e-6; bad = 1e-2 }
+let no_errors = { good = 0.0; bad = 0.0 }
+
+type decision = Stochastic of Rng.t | Threshold
+
+let rate_of ber = function
+  | Channel_state.Good -> ber.good
+  | Channel_state.Bad -> ber.bad
+
+let expected_errors ber ~bits_per_sec ~segments =
+  List.fold_left
+    (fun acc (state, span) ->
+      acc +. (rate_of ber state *. bits_per_sec *. Simtime.span_to_sec span))
+    0.0 segments
+
+let loss_probability ~expected = 1.0 -. exp (-.expected)
+
+let frame_lost decision ber ~bits_per_sec ~segments =
+  let expected = expected_errors ber ~bits_per_sec ~segments in
+  match decision with
+  | Threshold -> expected >= 1.0
+  | Stochastic rng ->
+    let p = loss_probability ~expected in
+    p > 0.0 && Rng.uniform rng < p

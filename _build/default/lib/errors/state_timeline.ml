@@ -1,0 +1,61 @@
+open Sim_engine
+
+type t = {
+  start_state : Channel_state.t;
+  duration_of : Channel_state.t -> Simtime.span;
+  (* ends.(i) is the end time of period i; period i's state is
+     start_state when i is even, its flip when odd. *)
+  mutable ends : Simtime.t array;
+  mutable count : int;
+}
+
+let create ?(start_state = Channel_state.Good) ~duration_of () =
+  { start_state; duration_of; ends = Array.make 16 Simtime.zero; count = 0 }
+
+let state_of_index t i =
+  if i mod 2 = 0 then t.start_state else Channel_state.flip t.start_state
+
+let period_start t i = if i = 0 then Simtime.zero else t.ends.(i - 1)
+
+let append t finish =
+  if t.count = Array.length t.ends then begin
+    let bigger = Array.make (2 * t.count) Simtime.zero in
+    Array.blit t.ends 0 bigger 0 t.count;
+    t.ends <- bigger
+  end;
+  t.ends.(t.count) <- finish;
+  t.count <- t.count + 1
+
+let extend_until t stop =
+  while t.count = 0 || Simtime.(t.ends.(t.count - 1) <= stop) do
+    let state = state_of_index t t.count in
+    let d = t.duration_of state in
+    if Simtime.span_compare d Simtime.span_zero <= 0 then
+      invalid_arg "State_timeline: duration must be positive";
+    append t (Simtime.add (period_start t t.count) d)
+  done
+
+(* First period index whose end time is strictly after [at]. *)
+let index_at t at =
+  let lo = ref 0 and hi = ref (t.count - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Simtime.(t.ends.(mid) > at) then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let segments t ~start ~stop =
+  if Simtime.(stop <= start) then []
+  else begin
+    extend_until t stop;
+    let rec collect i cursor acc =
+      if Simtime.(cursor >= stop) then List.rev acc
+      else
+        let finish = Simtime.min t.ends.(i) stop in
+        let piece = (state_of_index t i, Simtime.diff finish cursor) in
+        collect (i + 1) finish (piece :: acc)
+    in
+    collect (index_at t start) start []
+  end
+
+let periods_materialised t = t.count

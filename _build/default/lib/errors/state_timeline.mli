@@ -1,0 +1,31 @@
+(** Lazily materialised alternating state timeline.
+
+    Shared mechanism for the Markov and deterministic channels: a
+    sequence of Good/Bad periods whose durations come from a
+    caller-supplied generator.  Periods are materialised on demand and
+    cached, so queries may arrive in any time order and always see the
+    same realisation. *)
+
+type t
+(** A timeline. *)
+
+val create :
+  ?start_state:Channel_state.t ->
+  duration_of:(Channel_state.t -> Sim_engine.Simtime.span) ->
+  unit ->
+  t
+(** [create ~duration_of ()] starts in [start_state] (default [Good])
+    at time zero; each period's length is drawn by [duration_of state]
+    when first needed.  Durations must be positive. *)
+
+val segments :
+  t ->
+  start:Sim_engine.Simtime.t ->
+  stop:Sim_engine.Simtime.t ->
+  (Channel_state.t * Sim_engine.Simtime.span) list
+(** States covering [[start, stop)] in order; durations sum to
+    [stop - start].  Adjacent periods in the same state are not
+    merged. *)
+
+val periods_materialised : t -> int
+(** How many periods have been generated so far (for tests). *)

@@ -1,0 +1,54 @@
+open Sim_engine
+
+type continuation = Cycle | Hold
+
+let create ?(continuation = Cycle) periods =
+  if periods = [] then invalid_arg "Trace_channel.create: empty trace";
+  List.iter
+    (fun (_, d) ->
+      if Simtime.span_compare d Simtime.span_zero <= 0 then
+        invalid_arg "Trace_channel.create: non-positive duration")
+    periods;
+  let arr = Array.of_list periods in
+  let n = Array.length arr in
+  let cycle_ns =
+    Array.fold_left (fun acc (_, d) -> acc + Simtime.span_to_ns d) 0 arr
+  in
+  (* State at an absolute offset into the (possibly repeated) trace. *)
+  let segments ~start ~stop =
+    let rec walk cursor acc =
+      if Simtime.(cursor >= stop) then List.rev acc
+      else begin
+        let offset_ns = Simtime.to_ns cursor in
+        let in_cycle, beyond =
+          match continuation with
+          | Cycle -> (offset_ns mod cycle_ns, false)
+          | Hold ->
+            if offset_ns >= cycle_ns then (cycle_ns - 1, true)
+            else (offset_ns, false)
+        in
+        (* Find the period containing [in_cycle]. *)
+        let rec locate i acc_ns =
+          let _, d = arr.(i) in
+          let d_ns = Simtime.span_to_ns d in
+          if in_cycle < acc_ns + d_ns || i = n - 1 then (i, acc_ns + d_ns)
+          else locate (i + 1) (acc_ns + d_ns)
+        in
+        let i, period_end_ns = locate 0 0 in
+        let state, _ = arr.(i) in
+        let remaining_ns =
+          if beyond then Simtime.to_ns stop - offset_ns
+          else period_end_ns - in_cycle
+        in
+        let finish =
+          Simtime.min stop (Simtime.add cursor (Simtime.span_ns remaining_ns))
+        in
+        walk finish ((state, Simtime.diff finish cursor) :: acc)
+      end
+    in
+    walk start []
+  in
+  Channel.make
+    ~description:(Printf.sprintf "trace (%d periods, %s)" n
+       (match continuation with Cycle -> "cyclic" | Hold -> "hold"))
+    ~segments

@@ -1,0 +1,19 @@
+(** Trace-driven channel.
+
+    Replays a recorded (or hand-written) sequence of channel states —
+    for regression tests that need an exact loss pattern, and for
+    replaying field measurements.  After the trace is exhausted the
+    channel repeats it (cyclic) or holds the final state. *)
+
+type continuation =
+  | Cycle  (** restart the trace from the beginning *)
+  | Hold  (** stay in the last state forever *)
+
+val create :
+  ?continuation:continuation ->
+  (Channel_state.t * Sim_engine.Simtime.span) list ->
+  Channel.t
+(** [create periods] replays [periods] in order from time zero.
+    Default continuation is [Cycle].
+    @raise Invalid_argument if the list is empty or any duration is
+    not positive. *)

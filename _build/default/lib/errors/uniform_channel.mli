@@ -1,0 +1,10 @@
+(** Single-state channels. *)
+
+val always : Channel_state.t -> Channel.t
+(** A channel pinned to one state forever.  [always Good] with a
+    chosen BER gives a uniform (non-bursty) error model; [always Good]
+    with BER 0 is a perfect channel. *)
+
+val perfect : unit -> Channel.t
+(** Alias for [always Good], named for readability at call sites that
+    also set both BERs to zero. *)

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Csdp Feedback Link_arq List Metrics Netsim Printf Report Scenario Sim_engine Stdlib String Sweep Tcp_tahoe Topology

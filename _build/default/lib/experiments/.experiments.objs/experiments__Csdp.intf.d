@@ -1,0 +1,1 @@
+lib/experiments/csdp.mli: Link_arq

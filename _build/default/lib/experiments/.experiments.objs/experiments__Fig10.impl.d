@@ -1,0 +1,1 @@
+lib/experiments/fig10.ml: Float Lan_sweep List Metrics Printf Report String Sweep Topology

@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: List Metrics Printf Report String Sweep Topology Wan_sweep

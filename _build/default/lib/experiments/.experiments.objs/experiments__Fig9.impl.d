@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: String Sweep Topology Wan_sweep

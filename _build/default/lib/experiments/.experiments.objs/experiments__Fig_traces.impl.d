@@ -1,0 +1,1 @@
+lib/experiments/fig_traces.ml: List Metrics Printf Report Run Scenario Sim_engine String Topology Wiring

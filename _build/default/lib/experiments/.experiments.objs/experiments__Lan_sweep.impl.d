@@ -1,0 +1,1 @@
+lib/experiments/lan_sweep.ml: List Metrics Report Scenario String Sweep Theory Topology

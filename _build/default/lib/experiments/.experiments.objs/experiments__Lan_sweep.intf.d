@@ -1,0 +1,1 @@
+lib/experiments/lan_sweep.mli: Metrics Run Topology

@@ -1,0 +1,1 @@
+lib/experiments/run.ml: Float Sim_engine Tcp_tahoe Topology Wiring

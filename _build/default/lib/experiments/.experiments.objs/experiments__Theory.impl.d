@@ -1,0 +1,1 @@
+lib/experiments/theory.ml: Sim_engine Topology

@@ -1,0 +1,1 @@
+lib/experiments/wan_sweep.ml: Float List Metrics Printf Report Scenario String Sweep Theory Topology

@@ -1,0 +1,1 @@
+lib/experiments/wan_sweep.mli: Metrics Run Topology

@@ -1,0 +1,40 @@
+(** Channel-state-dependent scheduling experiment (paper §2, after
+    Bhagwat et al. [9]).
+
+    Several mobile hosts share one base-station radio, each behind its
+    own channel-state process.  Under FIFO scheduling, the head-of-line
+    frame of a connection whose channel is bad blocks everyone; under
+    round-robin with backoff deferral, frames for good channels keep
+    flowing.  The paper cites this as the motivation for link
+    schedulers — and notes that the source-timeout problem remains,
+    which is what EBSN fixes.
+
+    Setup: wide-area parameters; connection 0 sees a perfect channel,
+    the others see a bursty channel (good 4 s / bad 4 s); 50 KB per
+    connection. *)
+
+type conn_result = {
+  conn : int;
+  throughput_bps : float;
+  duration_sec : float;
+  completed : bool;
+}
+
+type result = {
+  policy : Link_arq.Sched.policy;
+  per_conn : conn_result list;
+  aggregate_bps : float;  (** sum of per-connection throughputs *)
+}
+
+val run :
+  ?n_conns:int ->
+  ?file_bytes:int ->
+  ?seed:int ->
+  policy:Link_arq.Sched.policy ->
+  unit ->
+  result
+(** Run the shared-radio scenario under one scheduling policy
+    (round-robin also enables backoff deferral). *)
+
+val render : ?seeds:int list -> unit -> string
+(** FIFO vs round-robin comparison table, averaged over seeds. *)

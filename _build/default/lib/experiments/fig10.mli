@@ -1,0 +1,12 @@
+(** Figure 10: throughput vs. mean bad-period length (local area).
+
+    Paper reference: TCP with EBSN clearly outperforms basic TCP at
+    every bad-period length — by about 50% at some — and tracks the
+    theoretical maximum closely (goodput with EBSN is 100%). *)
+
+val compute :
+  ?replications:int -> unit -> Lan_sweep.series * Lan_sweep.series
+(** (basic, ebsn) throughput series. *)
+
+val render : ?replications:int -> unit -> string
+(** The table plus the peak-improvement headline. *)

@@ -1,0 +1,16 @@
+let compute ?replications () =
+  ( Lan_sweep.compute ?replications ~scheme:Topology.Scenario.Basic
+      ~metric:Sweep.retransmitted_kbytes (),
+    Lan_sweep.compute ?replications ~scheme:Topology.Scenario.Ebsn
+      ~metric:Sweep.retransmitted_kbytes () )
+
+let render ?replications () =
+  let basic, ebsn = compute ?replications () in
+  Lan_sweep.render_metric
+    ~title:
+      "Figure 11 — Local area: data retransmitted vs mean bad-period length"
+    ~note:
+      "paper: basic TCP retransmits up to ~200 Kbytes of a 4 MB transfer; \
+       EBSN near zero (100% goodput)"
+    ~unit_label:"Kbytes retransmitted by the source (mean)"
+    [ basic; ebsn ]

@@ -1,0 +1,12 @@
+(** Figure 11: data retransmitted vs. mean bad-period length (local
+    area, 4 MB transfer).
+
+    Paper reference: basic TCP retransmits a large and growing volume
+    (up to ~200 Kbytes); TCP with EBSN retransmits almost nothing —
+    its goodput is 100%. *)
+
+val compute :
+  ?replications:int -> unit -> Lan_sweep.series * Lan_sweep.series
+(** (basic, ebsn) retransmitted-Kbytes series. *)
+
+val render : ?replications:int -> unit -> string

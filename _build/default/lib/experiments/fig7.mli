@@ -1,0 +1,14 @@
+(** Figure 7: throughput vs. packet size, basic TCP, wide area.
+
+    Paper reference: for a given packet size throughput increases as
+    the bad period shortens; each bad-period length has an optimal
+    packet size (512 B at bad = 1 s, 384 B at bad = 3 s); choosing it
+    over 1536 B gains about 30%; even the optimum stays well below
+    tput_th (8.7 vs 11.8 kbit/s at bad = 1 s). *)
+
+val compute : ?replications:int -> unit -> Wan_sweep.series list
+(** Mean throughput per packet size and bad-period length. *)
+
+val render : ?replications:int -> unit -> string
+(** The table plus derived headline numbers (optimal size and its
+    gain over 1536 B). *)

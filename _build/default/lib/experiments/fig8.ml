@@ -1,0 +1,40 @@
+let compute ?replications () =
+  Wan_sweep.compute ?replications ~scheme:Topology.Scenario.Ebsn
+    ~metric:Sweep.throughput ()
+
+let mean_at series size =
+  let cell =
+    List.find (fun c -> c.Wan_sweep.size = size) series.Wan_sweep.cells
+  in
+  cell.Wan_sweep.summary.Metrics.Summary.mean
+
+let render ?replications () =
+  let series_list = compute ?replications () in
+  (* The paper's headline: 100% improvement at 1536 B, bad = 4 s. *)
+  let basic_1536 =
+    Wan_sweep.compute ?replications ~packet_sizes:[ 1536 ]
+      ~bad_periods_sec:[ 4.0 ] ~scheme:Topology.Scenario.Basic
+      ~metric:Sweep.throughput ()
+  in
+  let headline =
+    match basic_1536, List.rev series_list with
+    | [ basic ], ebsn_bad4 :: _ ->
+      let b = mean_at basic 1536 and e = mean_at ebsn_bad4 1536 in
+      [
+        Report.note
+          (Printf.sprintf
+             "1536B, bad=4s: basic %s vs EBSN %s kbit/s (%+.0f%%; paper: \
+              4.5 vs 9.0, +100%%)"
+             (Report.kbps b) (Report.kbps e)
+             (100.0 *. ((e /. b) -. 1.0)));
+      ]
+    | _ -> []
+  in
+  String.concat "\n"
+    (Wan_sweep.render_throughput
+       ~title:"Figure 8 — TCP with EBSN (wide area): throughput vs packet size"
+       ~note:
+         "paper: throughput rises with packet size and approaches tput_th \
+          for large packets"
+       series_list
+    :: headline)

@@ -1,0 +1,13 @@
+(** Figure 9: data retransmitted by the source vs. packet size
+    (wide area), basic TCP against TCP with EBSN.
+
+    Paper reference: for basic TCP the retransmitted volume grows
+    with both packet size and bad-period length (tens of Kbytes for a
+    100 KB transfer); with EBSN timeouts disappear and retransmission
+    volume collapses to near zero at every packet size. *)
+
+val compute_basic : ?replications:int -> unit -> Wan_sweep.series list
+val compute_ebsn : ?replications:int -> unit -> Wan_sweep.series list
+
+val render : ?replications:int -> unit -> string
+(** Both tables (Kbytes retransmitted). *)

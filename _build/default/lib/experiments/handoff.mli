@@ -1,0 +1,50 @@
+(** Handoff experiment (the paper's companion work [17], after
+    Caceres & Iftode [4]).
+
+    The paper excludes handoffs from its evaluation ("In a separate
+    study [17] we have proposed schemes to improve the performance of
+    TCP in the presence of handoffs"); this module supplies that
+    companion experiment.  A mobile host moves periodically between
+    two base stations; during each handoff there is a blackout in
+    which no wireless frame is delivered in either direction, and
+    packets already routed to the old base station are lost.
+
+    Three recovery policies are compared:
+    - [Plain]: the source discovers handoff losses by retransmission
+      timeout.
+    - [Fast_rtx]: when the mobile re-attaches it immediately sends
+      three duplicate acknowledgements, triggering fast retransmit at
+      the source instead of waiting out the timer ([4]).
+    - [Fast_rtx_reroute]: additionally, packets that reach the old
+      base station after the mobile left are bounced back through the
+      fixed host to the new cell (Mobile-IP-style triangle routing),
+      so only the blackout itself loses data. *)
+
+type policy = Plain | Fast_rtx | Fast_rtx_reroute
+
+val policy_name : policy -> string
+
+type result = {
+  policy : policy;
+  throughput_bps : float;
+  duration_sec : float;
+  source_timeouts : int;
+  fast_retransmits : int;
+  handoffs : int;
+  completed : bool;
+}
+
+val run :
+  ?file_bytes:int ->
+  ?residence_sec:float ->
+  ?blackout_sec:float ->
+  ?seed:int ->
+  policy:policy ->
+  unit ->
+  result
+(** One transfer across periodic handoffs.  Defaults: 50 KB file,
+    8 s cell residence, 0.5 s blackout.  The wireless channels are
+    error-free so handoffs are the only loss source. *)
+
+val render : ?seeds:int list -> unit -> string
+(** Comparison table over several seeds and blackout lengths. *)

@@ -1,0 +1,72 @@
+open Topology
+
+type point = { bad_sec : float; summary : Metrics.Summary.t }
+type series = { scheme : Scenario.scheme; points : point list }
+
+let bad_periods_sec = [ 0.4; 0.6; 0.8; 1.0; 1.2; 1.4; 1.6 ]
+
+let compute ?replications ?(bad_periods_sec = bad_periods_sec) ~scheme
+    ~metric () =
+  let point_for bad_sec =
+    let scenario = Scenario.lan ~scheme ~mean_bad_sec:bad_sec () in
+    { bad_sec; summary = Sweep.replicate ?replications scenario ~metric }
+  in
+  { scheme; points = List.map point_for bad_periods_sec }
+
+let tput_th_for bad_sec =
+  Theory.tput_th ~tput_max_bps:2_000_000.0 ~mean_good_sec:4.0
+    ~mean_bad_sec:bad_sec
+
+let columns ~extra series_list =
+  "bad period (s)"
+  :: (List.map
+        (fun series -> Scenario.scheme_name series.scheme)
+        series_list
+     @ extra)
+
+let rows ~fmt ~extra_cell series_list =
+  match series_list with
+  | [] -> []
+  | first :: _ ->
+    List.mapi
+      (fun i point ->
+        (Report.fixed 1 point.bad_sec
+        :: List.map
+             (fun series ->
+               fmt (List.nth series.points i).summary.Metrics.Summary.mean)
+             series_list)
+        @ extra_cell point.bad_sec)
+      first.points
+
+let render_throughput ~title ~note series_list =
+  String.concat "\n"
+    [
+      Report.heading title;
+      Report.table
+        ~columns:(columns ~extra:[ "tput_th" ] series_list)
+        ~rows:
+          (rows ~fmt:Report.mbps
+             ~extra_cell:(fun bad -> [ Report.mbps (tput_th_for bad) ])
+             series_list);
+      Report.note "throughput in Mbit/s (mean over replications)";
+      Report.note note;
+    ]
+
+let render_metric ~title ~note ~unit_label series_list =
+  String.concat "\n"
+    [
+      Report.heading title;
+      Report.table
+        ~columns:(columns ~extra:[] series_list)
+        ~rows:(rows ~fmt:(Report.fixed 1) ~extra_cell:(fun _ -> []) series_list);
+      Report.note unit_label;
+      Report.note note;
+    ]
+
+let to_csv series_list =
+  Report.csv
+    ~columns:(columns ~extra:[ "tput_th" ] series_list)
+    ~rows:
+      (rows ~fmt:(Report.fixed 3)
+         ~extra_cell:(fun bad -> [ Report.fixed 3 (tput_th_for bad) ])
+         series_list)

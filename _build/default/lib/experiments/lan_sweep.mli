@@ -1,0 +1,31 @@
+(** Shared local-area sweep machinery for Figures 10 and 11.
+
+    Sweeps the mean bad-period length from 0.4 to 1.6 s (mean good
+    period 4 s, 4 MB transfer, 1536-byte packets, no fragmentation,
+    64 KB window) for basic TCP and TCP with EBSN. *)
+
+type point = { bad_sec : float; summary : Metrics.Summary.t }
+type series = { scheme : Topology.Scenario.scheme; points : point list }
+
+val bad_periods_sec : float list
+(** 0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6. *)
+
+val compute :
+  ?replications:int ->
+  ?bad_periods_sec:float list ->
+  scheme:Topology.Scenario.scheme ->
+  metric:(Run.measurement -> float) ->
+  unit ->
+  series
+
+val render_throughput : title:string -> note:string -> series list -> string
+(** Mbit/s per bad-period length, one column per scheme, plus the
+    theoretical maximum. *)
+
+val render_metric :
+  title:string -> note:string -> unit_label:string -> series list -> string
+(** Arbitrary metric per bad-period length. *)
+
+val to_csv : series list -> string
+(** The sweep as CSV (one row per bad-period length, one column per
+    scheme, plus the theoretical maximum). *)

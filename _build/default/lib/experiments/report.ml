@@ -1,0 +1,52 @@
+let heading title =
+  let bar = String.make (String.length title + 4) '=' in
+  Printf.sprintf "%s\n| %s |\n%s" bar title bar
+
+let pad_left width s =
+  if String.length s >= width then s
+  else String.make (width - String.length s) ' ' ^ s
+
+let pad_right width s =
+  if String.length s >= width then s
+  else s ^ String.make (width - String.length s) ' '
+
+let table ~columns ~rows =
+  let n = List.length columns in
+  let normalise row =
+    let len = List.length row in
+    if len >= n then row else row @ List.init (n - len) (fun _ -> "")
+  in
+  let rows = List.map normalise rows in
+  let widths =
+    List.mapi
+      (fun i header ->
+        List.fold_left
+          (fun acc row -> Stdlib.max acc (String.length (List.nth row i)))
+          (String.length header) rows)
+      columns
+  in
+  let render_row cells =
+    String.concat "  "
+      (List.mapi
+         (fun i cell ->
+           let width = List.nth widths i in
+           if i = 0 then pad_right width cell else pad_left width cell)
+         cells)
+  in
+  let header = render_row columns in
+  let rule = String.make (String.length header) '-' in
+  String.concat "\n" (header :: rule :: List.map render_row rows)
+
+let kbps bps = Printf.sprintf "%.2f" (bps /. 1e3)
+let mbps bps = Printf.sprintf "%.2f" (bps /. 1e6)
+let fixed d x = Printf.sprintf "%.*f" d x
+let note s = "  " ^ s
+
+let csv_escape cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let csv ~columns ~rows =
+  let line cells = String.concat "," (List.map csv_escape cells) in
+  String.concat "\n" (line columns :: List.map line rows) ^ "\n"

@@ -1,0 +1,26 @@
+(** Plain-text table rendering for the benchmark harness. *)
+
+val heading : string -> string
+(** A boxed section heading. *)
+
+val table :
+  columns:string list -> rows:string list list -> string
+(** Align a table: the first column left-justified, the rest
+    right-justified, two spaces between columns.  Rows shorter than
+    [columns] are padded with empty cells. *)
+
+val kbps : float -> string
+(** [8712.3] → ["8.71"] (kbit/s with 2 decimals). *)
+
+val mbps : float -> string
+(** bits/s rendered as Mbit/s with 2 decimals. *)
+
+val fixed : int -> float -> string
+(** [fixed d x] is [x] with [d] decimals. *)
+
+val note : string -> string
+(** An indented footnote line. *)
+
+val csv : columns:string list -> rows:string list list -> string
+(** The same data as {!table}, as RFC-4180-style CSV (quoted where
+    needed, trailing newline). *)

@@ -1,0 +1,31 @@
+open Topology
+
+type measurement = {
+  throughput_bps : float;
+  goodput : float;
+  retransmitted_kbytes : float;
+  source_timeouts : int;
+  fast_retransmits : int;
+  ebsn_received : int;
+  duration_sec : float;
+  completed : bool;
+}
+
+let outcome_measurement (outcome : Wiring.outcome) =
+  {
+    throughput_bps = Wiring.throughput_bps outcome;
+    goodput = Wiring.goodput outcome;
+    retransmitted_kbytes = Wiring.retransmitted_kbytes outcome;
+    source_timeouts = Wiring.source_timeouts outcome;
+    fast_retransmits =
+      outcome.Wiring.sender_stats.Tcp_tahoe.Tcp_stats.fast_retransmits;
+    ebsn_received =
+      outcome.Wiring.sender_stats.Tcp_tahoe.Tcp_stats.ebsns_received;
+    duration_sec =
+      (match outcome.Wiring.result with
+      | Some r -> Sim_engine.Simtime.span_to_sec r.Tcp_tahoe.Bulk_app.duration
+      | None -> Float.infinity);
+    completed = outcome.Wiring.completed;
+  }
+
+let measure scenario = outcome_measurement (Wiring.run scenario)

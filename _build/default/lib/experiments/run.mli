@@ -1,0 +1,18 @@
+(** Single-run measurement extraction. *)
+
+type measurement = {
+  throughput_bps : float;  (** paper throughput (0 if incomplete) *)
+  goodput : float;  (** paper goodput (0 if incomplete) *)
+  retransmitted_kbytes : float;  (** source payload re-sent *)
+  source_timeouts : int;
+  fast_retransmits : int;
+  ebsn_received : int;  (** notifications that reached the source *)
+  duration_sec : float;  (** connection time (∞ if incomplete) *)
+  completed : bool;
+}
+
+val measure : Topology.Scenario.t -> measurement
+(** Run the scenario and extract the paper's metrics. *)
+
+val outcome_measurement : Topology.Wiring.outcome -> measurement
+(** Extract from an existing outcome. *)

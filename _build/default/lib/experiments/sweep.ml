@@ -1,0 +1,22 @@
+open Topology
+
+let default_replications = 10
+let seeds ~replications = List.init replications (fun i -> (1000 * i) + 17)
+
+let measurements ?(replications = default_replications) scenario =
+  List.map
+    (fun seed -> Run.measure (Scenario.with_seed scenario seed))
+    (seeds ~replications)
+
+let replicate ?replications scenario ~metric =
+  Metrics.Summary.of_list
+    (List.map metric (measurements ?replications scenario))
+
+let throughput (m : Run.measurement) = m.Run.throughput_bps
+let throughput_kbps (m : Run.measurement) = m.Run.throughput_bps /. 1000.0
+let goodput (m : Run.measurement) = m.Run.goodput
+
+let retransmitted_kbytes (m : Run.measurement) =
+  m.Run.retransmitted_kbytes
+
+let timeouts (m : Run.measurement) = float_of_int m.Run.source_timeouts

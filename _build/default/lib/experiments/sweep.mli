@@ -1,0 +1,32 @@
+(** Replicated parameter sweeps.
+
+    Each point is measured over several seeds and summarised; the
+    paper reports means whose standard deviation stays below 4%. *)
+
+val default_replications : int
+(** 10. *)
+
+val seeds : replications:int -> int list
+(** The deterministic seed list used for replication ([1000·i + 17]). *)
+
+val replicate :
+  ?replications:int ->
+  Topology.Scenario.t ->
+  metric:(Run.measurement -> float) ->
+  Metrics.Summary.t
+(** Run the scenario under each replication seed and summarise the
+    metric. *)
+
+val measurements :
+  ?replications:int -> Topology.Scenario.t -> Run.measurement list
+(** The raw per-seed measurements. *)
+
+val throughput : Run.measurement -> float
+(** Metric selector: throughput in bits/s. *)
+
+val throughput_kbps : Run.measurement -> float
+(** Metric selector: throughput in kbit/s. *)
+
+val goodput : Run.measurement -> float
+val retransmitted_kbytes : Run.measurement -> float
+val timeouts : Run.measurement -> float

@@ -1,0 +1,15 @@
+let good_fraction ~mean_good_sec ~mean_bad_sec =
+  if mean_good_sec <= 0.0 || mean_bad_sec <= 0.0 then
+    invalid_arg "Theory.good_fraction: means must be positive";
+  mean_good_sec /. (mean_good_sec +. mean_bad_sec)
+
+let tput_th ~tput_max_bps ~mean_good_sec ~mean_bad_sec =
+  tput_max_bps *. good_fraction ~mean_good_sec ~mean_bad_sec
+
+let tput_th_scenario scenario =
+  let open Topology.Scenario in
+  tput_th
+    ~tput_max_bps:(effective_wireless_bps scenario)
+    ~mean_good_sec:
+      (Sim_engine.Simtime.span_to_sec scenario.wireless.mean_good)
+    ~mean_bad_sec:(Sim_engine.Simtime.span_to_sec scenario.wireless.mean_bad)

@@ -1,0 +1,21 @@
+(** Theoretical throughput bounds (the paper's [tput_th]).
+
+    In the absence of errors the wireless link carries [tput_max]
+    (12.8 kbps WAN, 2 Mbps LAN).  With the two-state error model the
+    link is only useful during good periods, so the theoretical
+    maximum is the good-state fraction of [tput_max]:
+    [tput_th = λbg / (λbg + λgb) · tput_max
+             = mean_good / (mean_good + mean_bad) · tput_max]. *)
+
+val good_fraction : mean_good_sec:float -> mean_bad_sec:float -> float
+(** Long-run fraction of time the channel spends in the good state.
+    @raise Invalid_argument unless both means are positive. *)
+
+val tput_th :
+  tput_max_bps:float -> mean_good_sec:float -> mean_bad_sec:float -> float
+(** The paper's theoretical maximum throughput in the presence of
+    errors. *)
+
+val tput_th_scenario : Topology.Scenario.t -> float
+(** [tput_th] for a scenario's wireless parameters and effective
+    bandwidth. *)

@@ -1,0 +1,84 @@
+open Topology
+
+type cell = { size : int; summary : Metrics.Summary.t }
+type series = { bad_sec : float; cells : cell list }
+
+let packet_sizes =
+  [ 128; 256; 384; 512; 640; 768; 896; 1024; 1152; 1280; 1408; 1536 ]
+
+let bad_periods_sec = [ 1.0; 2.0; 3.0; 4.0 ]
+
+let compute ?replications ?(packet_sizes = packet_sizes)
+    ?(bad_periods_sec = bad_periods_sec) ~scheme ~metric () =
+  let series_for bad_sec =
+    let cell_for size =
+      let scenario =
+        Scenario.wan ~scheme ~packet_size:size ~mean_bad_sec:bad_sec ()
+      in
+      { size; summary = Sweep.replicate ?replications scenario ~metric }
+    in
+    { bad_sec; cells = List.map cell_for packet_sizes }
+  in
+  List.map series_for bad_periods_sec
+
+let tput_th_for bad_sec =
+  Theory.tput_th ~tput_max_bps:12_800.0 ~mean_good_sec:10.0
+    ~mean_bad_sec:bad_sec
+
+let columns series_list =
+  "pkt size (B)"
+  :: List.map
+       (fun series -> Printf.sprintf "bad=%.0fs" series.bad_sec)
+       series_list
+
+let value_rows ~fmt series_list =
+  match series_list with
+  | [] -> []
+  | first :: _ ->
+    List.mapi
+      (fun i cell ->
+        string_of_int cell.size
+        :: List.map
+             (fun series ->
+               fmt (List.nth series.cells i).summary.Metrics.Summary.mean)
+             series_list)
+      first.cells
+
+let render_throughput ~title ~note series_list =
+  let rows =
+    value_rows ~fmt:Report.kbps series_list
+    @ [
+        "tput_th"
+        :: List.map
+             (fun series -> Report.kbps (tput_th_for series.bad_sec))
+             series_list;
+      ]
+  in
+  String.concat "\n"
+    [
+      Report.heading title;
+      Report.table ~columns:(columns series_list) ~rows;
+      Report.note "throughput in kbit/s (mean over replications)";
+      Report.note note;
+    ]
+
+let render_metric ~title ~note ~unit_label series_list =
+  String.concat "\n"
+    [
+      Report.heading title;
+      Report.table ~columns:(columns series_list)
+        ~rows:(value_rows ~fmt:(Report.fixed 1) series_list);
+      Report.note unit_label;
+      Report.note note;
+    ]
+
+let best_size series =
+  List.fold_left
+    (fun (best_size, best_value) cell ->
+      let v = cell.summary.Metrics.Summary.mean in
+      if v > best_value then (cell.size, v) else (best_size, best_value))
+    (0, Float.neg_infinity) series.cells
+
+let to_csv series_list =
+  Report.csv ~columns:(columns series_list)
+    ~rows:(value_rows ~fmt:(Report.fixed 3) series_list)

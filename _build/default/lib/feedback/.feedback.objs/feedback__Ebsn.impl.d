@@ -1,0 +1,1 @@
+lib/feedback/ebsn.ml: Hashtbl Netsim Packet Sim_engine Simtime

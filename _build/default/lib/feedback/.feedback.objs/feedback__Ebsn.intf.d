@@ -1,0 +1,1 @@
+lib/feedback/ebsn.mli: Netsim Sim_engine

@@ -1,0 +1,1 @@
+lib/feedback/source_quench.ml: Hashtbl Netsim Packet Sim_engine Simtime

@@ -1,0 +1,1 @@
+lib/feedback/source_quench.mli: Netsim Sim_engine

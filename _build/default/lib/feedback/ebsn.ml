@@ -1,0 +1,24 @@
+open Sim_engine
+open Netsim
+
+let message_bytes = 40
+
+let make ~alloc_id ~src ~dst ~conn ~now =
+  Packet.create ~id:(alloc_id ()) ~src ~dst ~kind:(Packet.Ebsn { conn })
+    ~header_bytes:message_bytes ~created:now
+
+type pacing = Every_attempt | Min_interval of Simtime.span
+
+type gate = { pacing : pacing; last_sent : (int, Simtime.t) Hashtbl.t }
+
+let gate pacing = { pacing; last_sent = Hashtbl.create 4 }
+
+let admit t ~conn ~now =
+  match t.pacing with
+  | Every_attempt -> true
+  | Min_interval interval -> (
+    match Hashtbl.find_opt t.last_sent conn with
+    | Some last when Simtime.(now < add last interval) -> false
+    | Some _ | None ->
+      Hashtbl.replace t.last_sent conn now;
+      true)

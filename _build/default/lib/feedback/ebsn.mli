@@ -1,0 +1,43 @@
+(** Explicit Bad State Notification (EBSN) — the paper's contribution.
+
+    When the base station's link-level recovery fails a transmission
+    attempt while the wireless link is in a bad state, it sends an
+    EBSN — "a new type of ICMP message" — back to the TCP source.  The
+    source reacts by re-arming its retransmission timer with an
+    identical timeout value, preventing the spurious timeout and
+    congestion-control collapse that local recovery alone cannot
+    avoid. *)
+
+val message_bytes : int
+(** Network-layer size of an EBSN message (40 bytes — an ICMP-sized
+    header-only datagram). *)
+
+val make :
+  alloc_id:(unit -> int) ->
+  src:Netsim.Address.t ->
+  dst:Netsim.Address.t ->
+  conn:int ->
+  now:Sim_engine.Simtime.t ->
+  Netsim.Packet.t
+(** An EBSN from the base station [src] to the TCP source [dst]. *)
+
+(** {2 Pacing}
+
+    The paper sends one EBSN per unsuccessful transmission attempt;
+    [Min_interval] is provided for ablations (rate-limited
+    feedback). *)
+
+type pacing =
+  | Every_attempt  (** one notification per failed attempt (paper) *)
+  | Min_interval of Sim_engine.Simtime.span
+      (** at most one notification per connection per interval *)
+
+type gate
+(** Pacing state across connections. *)
+
+val gate : pacing -> gate
+(** Fresh pacing state. *)
+
+val admit : gate -> conn:int -> now:Sim_engine.Simtime.t -> bool
+(** Whether a notification for [conn] may be sent at [now]; records
+    the send when admitted. *)

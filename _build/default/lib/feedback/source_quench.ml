@@ -1,0 +1,37 @@
+open Sim_engine
+open Netsim
+
+let message_bytes = 40
+
+let make ~alloc_id ~src ~dst ~conn ~now =
+  Packet.create ~id:(alloc_id ()) ~src ~dst
+    ~kind:(Packet.Source_quench { conn }) ~header_bytes:message_bytes
+    ~created:now
+
+type trigger = On_attempt_failure | On_backlog of int
+
+type gate = {
+  trigger : trigger;
+  min_interval : Simtime.span;
+  last_sent : (int, Simtime.t) Hashtbl.t;
+}
+
+let gate trigger ~min_interval =
+  { trigger; min_interval; last_sent = Hashtbl.create 4 }
+
+let paced t ~conn ~now =
+  match Hashtbl.find_opt t.last_sent conn with
+  | Some last when Simtime.(now < add last t.min_interval) -> false
+  | Some _ | None ->
+    Hashtbl.replace t.last_sent conn now;
+    true
+
+let admit_failure t ~conn ~now =
+  match t.trigger with
+  | On_attempt_failure -> paced t ~conn ~now
+  | On_backlog _ -> false
+
+let admit_backlog t ~conn ~backlog ~now =
+  match t.trigger with
+  | On_backlog threshold when backlog >= threshold -> paced t ~conn ~now
+  | On_backlog _ | On_attempt_failure -> false

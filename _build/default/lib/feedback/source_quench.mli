@@ -1,0 +1,40 @@
+(** ICMP source quench (RFC 792) — the paper's §4.2.2 baseline.
+
+    The base station, acting as a gateway, quenches the TCP source
+    when its wireless-side buffer builds up or transmissions fail.
+    The paper shows this {e cannot} prevent timeouts of packets
+    already in flight — the motivating negative result for EBSN. *)
+
+val message_bytes : int
+(** Network-layer size of a source-quench message (40 bytes). *)
+
+val make :
+  alloc_id:(unit -> int) ->
+  src:Netsim.Address.t ->
+  dst:Netsim.Address.t ->
+  conn:int ->
+  now:Sim_engine.Simtime.t ->
+  Netsim.Packet.t
+(** A source quench from the gateway [src] to the TCP source [dst]. *)
+
+type trigger =
+  | On_attempt_failure
+      (** quench on every failed link-level attempt — the same signal
+          EBSN uses, for a like-for-like comparison *)
+  | On_backlog of int
+      (** quench when the wireless-side backlog reaches the given
+          number of frames (anticipatory congestion signal) *)
+
+type gate
+(** Trigger state. *)
+
+val gate : trigger -> min_interval:Sim_engine.Simtime.span -> gate
+(** Fresh trigger state; at most one quench per connection per
+    [min_interval] regardless of trigger. *)
+
+val admit_failure : gate -> conn:int -> now:Sim_engine.Simtime.t -> bool
+(** Whether a failed attempt should produce a quench now. *)
+
+val admit_backlog :
+  gate -> conn:int -> backlog:int -> now:Sim_engine.Simtime.t -> bool
+(** Whether the given backlog should produce a quench now. *)

@@ -1,0 +1,1 @@
+lib/linklayer/arq.ml: Backoff Frame Hashtbl Rng Sched Sim_engine Simtime Simulator Wireless_link

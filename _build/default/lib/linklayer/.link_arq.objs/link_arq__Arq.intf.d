@@ -1,0 +1,1 @@
+lib/linklayer/arq.mli: Backoff Frame Sched Sim_engine Wireless_link

@@ -1,0 +1,1 @@
+lib/linklayer/arq_receiver.ml: Frame Hashtbl Sim_engine Simtime Simulator Stdlib

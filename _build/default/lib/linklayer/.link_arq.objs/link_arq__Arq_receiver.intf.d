@@ -1,0 +1,1 @@
+lib/linklayer/arq_receiver.mli: Frame Sim_engine

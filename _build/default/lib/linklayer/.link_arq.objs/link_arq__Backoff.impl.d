@@ -1,0 +1,1 @@
+lib/linklayer/backoff.ml: Float Rng Sim_engine Simtime Stdlib

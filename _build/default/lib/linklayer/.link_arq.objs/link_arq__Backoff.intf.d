@@ -1,0 +1,1 @@
+lib/linklayer/backoff.mli: Sim_engine

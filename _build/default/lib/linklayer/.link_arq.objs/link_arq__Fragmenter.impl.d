@@ -1,0 +1,1 @@
+lib/linklayer/fragmenter.ml: Frame List Netsim Stdlib

@@ -1,0 +1,1 @@
+lib/linklayer/fragmenter.mli: Frame Netsim

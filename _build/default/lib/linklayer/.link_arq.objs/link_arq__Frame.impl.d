@@ -1,0 +1,1 @@
+lib/linklayer/frame.ml: Format Netsim Option

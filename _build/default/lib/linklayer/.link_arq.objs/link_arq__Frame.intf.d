@@ -1,0 +1,1 @@
+lib/linklayer/frame.mli: Format Netsim

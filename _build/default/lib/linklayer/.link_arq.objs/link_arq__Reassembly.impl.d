@@ -1,0 +1,1 @@
+lib/linklayer/reassembly.ml: Array Frame Hashtbl Netsim Sim_engine Simtime Simulator

@@ -1,0 +1,1 @@
+lib/linklayer/reassembly.mli: Frame Netsim Sim_engine

@@ -1,0 +1,1 @@
+lib/linklayer/sched.ml: Hashtbl List Queue

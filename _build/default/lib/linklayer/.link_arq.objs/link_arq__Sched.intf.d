@@ -1,0 +1,1 @@
+lib/linklayer/sched.mli:

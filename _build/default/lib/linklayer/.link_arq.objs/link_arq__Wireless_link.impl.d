@@ -1,0 +1,1 @@
+lib/linklayer/wireless_link.ml: Error_model Float Frame Netsim Queue_drop_tail Sim_engine Simtime Simulator Units

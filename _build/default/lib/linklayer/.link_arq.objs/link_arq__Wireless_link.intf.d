@@ -1,0 +1,1 @@
+lib/linklayer/wireless_link.mli: Error_model Frame Netsim Sim_engine

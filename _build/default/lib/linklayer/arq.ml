@@ -1,0 +1,211 @@
+open Sim_engine
+
+type config = {
+  rt_max : int;
+  window : int;
+  ack_timeout_margin : Simtime.span;
+  backoff : Backoff.policy;
+  scheduler : Sched.policy;
+  queue_capacity : int;
+  defer_on_backoff : bool;
+}
+
+let default_config =
+  {
+    rt_max = 13;
+    window = 8;
+    ack_timeout_margin = Simtime.span_ms 100;
+    backoff = Backoff.Uniform (Simtime.span_ms 400);
+    scheduler = Sched.Fifo;
+    queue_capacity = 512;
+    defer_on_backoff = false;
+  }
+
+type stats = {
+  transmissions : int;
+  retransmissions : int;
+  completions : int;
+  discards : int;
+  attempt_failures : int;
+  spurious_acks : int;
+  sched_drops : int;
+}
+
+type entry = {
+  frame : Frame.t;
+  conn : int;
+  mutable attempts : int;  (* transmissions performed so far *)
+  mutable timer : Simulator.event option;  (* ack timeout or backoff *)
+  mutable in_link : bool;  (* handed to the link, not yet serialised *)
+}
+
+type t = {
+  sim : Simulator.t;
+  rng : Rng.t;
+  cfg : config;
+  link : Wireless_link.t;
+  waiting : entry Sched.t;
+  inflight : (int, entry) Hashtbl.t;  (* keyed by frame seq *)
+  mutable slots_held : int;  (* window slots in use *)
+  mutable next_seq : int;
+  mutable on_attempt_failure : (Frame.t -> attempt:int -> unit) option;
+  mutable on_discard : (Frame.t -> unit) option;
+  mutable transmissions : int;
+  mutable retransmissions : int;
+  mutable completions : int;
+  mutable discards : int;
+  mutable attempt_failures : int;
+  mutable spurious_acks : int;
+}
+
+(* The acknowledgement must travel back: propagation out, ack airtime,
+   propagation back — plus the configured margin for queueing behind
+   reverse-direction traffic.  The frame's own airtime is excluded
+   because the timer starts when the frame leaves the transmitter. *)
+let ack_timeout t =
+  let ack_frame = Frame.{ seq = 0; payload = Link_ack { acked_seq = 0 } } in
+  let cfg = Wireless_link.config t.link in
+  Simtime.span_add
+    (Wireless_link.air_time t.link ack_frame)
+    (Simtime.span_add
+       (Simtime.span_add cfg.Wireless_link.delay cfg.Wireless_link.delay)
+       t.cfg.ack_timeout_margin)
+
+let cancel_timer t entry =
+  match entry.timer with
+  | None -> ()
+  | Some ev ->
+    Simulator.cancel t.sim ev;
+    entry.timer <- None
+
+let transmit t entry =
+  entry.attempts <- entry.attempts + 1;
+  t.transmissions <- t.transmissions + 1;
+  if entry.attempts > 1 then t.retransmissions <- t.retransmissions + 1;
+  entry.in_link <- true;
+  Wireless_link.send t.link entry.frame
+
+(* Fired by the link when one of our frames finishes serialising. *)
+let rec frame_serialised t frame =
+  if not (Frame.is_ack frame) then
+    match Hashtbl.find_opt t.inflight frame.Frame.seq with
+    | Some entry when entry.in_link ->
+      entry.in_link <- false;
+      cancel_timer t entry;
+      entry.timer <-
+        Some
+          (Simulator.schedule_after t.sim ~delay:(ack_timeout t) (fun () ->
+               on_ack_timeout t entry))
+    | Some _ | None -> ()
+
+and on_ack_timeout t entry =
+  entry.timer <- None;
+  t.attempt_failures <- t.attempt_failures + 1;
+  (match t.on_attempt_failure with
+  | Some f -> f entry.frame ~attempt:entry.attempts
+  | None -> ());
+  if entry.attempts > t.cfg.rt_max then begin
+    (* The initial transmission plus rt_max retransmissions have all
+       failed: discard, as CDPD does. *)
+    t.discards <- t.discards + 1;
+    (match t.on_discard with Some f -> f entry.frame | None -> ());
+    release t entry
+  end
+  else begin
+    let delay = Backoff.draw t.cfg.backoff t.rng ~attempt:entry.attempts in
+    if t.cfg.defer_on_backoff then begin
+      (* Channel-state-dependent deferral: free the slot during the
+         backoff; the frame re-queues at the head of its lane. *)
+      Hashtbl.remove t.inflight entry.frame.Frame.seq;
+      t.slots_held <- t.slots_held - 1;
+      ignore
+        (Simulator.schedule_after t.sim ~delay (fun () ->
+             Sched.push_front t.waiting ~conn:entry.conn entry;
+             pump t));
+      pump t
+    end
+    else
+      entry.timer <-
+        Some
+          (Simulator.schedule_after t.sim ~delay (fun () ->
+               entry.timer <- None;
+               transmit t entry))
+  end
+
+and release t entry =
+  cancel_timer t entry;
+  Hashtbl.remove t.inflight entry.frame.Frame.seq;
+  t.slots_held <- t.slots_held - 1;
+  pump t
+
+(* Fill free window slots from the scheduler. *)
+and pump t =
+  if t.slots_held < t.cfg.window then
+    match Sched.pop t.waiting with
+    | None -> ()
+    | Some (_conn, entry) ->
+      t.slots_held <- t.slots_held + 1;
+      Hashtbl.replace t.inflight entry.frame.Frame.seq entry;
+      transmit t entry;
+      pump t
+
+let create sim ~rng ~config ~link =
+  if config.rt_max < 0 then invalid_arg "Arq.create: negative rt_max";
+  if config.window < 1 then invalid_arg "Arq.create: window < 1";
+  let t =
+    {
+      sim;
+      rng;
+      cfg = config;
+      link;
+      waiting = Sched.create config.scheduler ~capacity:config.queue_capacity;
+      inflight = Hashtbl.create 16;
+      slots_held = 0;
+      next_seq = 0;
+      on_attempt_failure = None;
+      on_discard = None;
+      transmissions = 0;
+      retransmissions = 0;
+      completions = 0;
+      discards = 0;
+      attempt_failures = 0;
+      spurious_acks = 0;
+    }
+  in
+  Wireless_link.set_on_frame_sent link (frame_serialised t);
+  t
+
+let set_on_attempt_failure t f = t.on_attempt_failure <- Some f
+let set_on_discard t f = t.on_discard <- Some f
+
+let send t ~conn payload =
+  let frame = Frame.{ seq = t.next_seq; payload } in
+  let entry = { frame; conn; attempts = 0; timer = None; in_link = false } in
+  let accepted = Sched.push t.waiting ~conn entry in
+  if accepted then begin
+    t.next_seq <- t.next_seq + 1;
+    pump t
+  end;
+  accepted
+
+let handle_link_ack t ~acked_seq =
+  match Hashtbl.find_opt t.inflight acked_seq with
+  | Some entry ->
+    t.completions <- t.completions + 1;
+    release t entry
+  | None -> t.spurious_acks <- t.spurious_acks + 1
+
+let idle t = Hashtbl.length t.inflight = 0 && Sched.is_empty t.waiting
+let in_flight t = Hashtbl.length t.inflight
+let backlog t = Sched.length t.waiting
+
+let stats t =
+  {
+    transmissions = t.transmissions;
+    retransmissions = t.retransmissions;
+    completions = t.completions;
+    discards = t.discards;
+    attempt_failures = t.attempt_failures;
+    spurious_acks = t.spurious_acks;
+    sched_drops = Sched.drops t.waiting;
+  }

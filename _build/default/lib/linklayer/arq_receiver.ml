@@ -1,0 +1,159 @@
+open Sim_engine
+
+type stats = {
+  frames_received : int;
+  duplicates : int;
+  acks_sent : int;
+  resequenced : int;
+  holes_flushed : int;
+  stragglers : int;
+}
+
+type resequence = { hole_timeout : Simtime.span }
+
+type t = {
+  sim : Simulator.t;
+  send_ack : (acked_seq:int -> unit) option;
+  on_link_ack : (acked_seq:int -> unit) option;
+  resequence : resequence option;
+  dedup : bool;
+  seen : (int, unit) Hashtbl.t;  (* dedup-only mode *)
+  deliver : Frame.payload -> unit;
+  buffer : (int, Frame.payload) Hashtbl.t;  (* out-of-order frames *)
+  mutable expected : int;  (* next link seq to deliver *)
+  mutable hole_timer : Simulator.event option;
+  mutable received_count : int;
+  mutable duplicate_count : int;
+  mutable ack_count : int;
+  mutable resequenced_count : int;
+  mutable hole_count : int;
+  mutable straggler_count : int;
+}
+
+let create sim ?send_ack ?on_link_ack ?resequence ?(dedup = false) ~deliver
+    () =
+  {
+    sim;
+    send_ack;
+    on_link_ack;
+    resequence;
+    dedup;
+    seen = Hashtbl.create 32;
+    deliver;
+    buffer = Hashtbl.create 32;
+    expected = 0;
+    hole_timer = None;
+    received_count = 0;
+    duplicate_count = 0;
+    ack_count = 0;
+    resequenced_count = 0;
+    hole_count = 0;
+    straggler_count = 0;
+  }
+
+let cancel_hole_timer t =
+  match t.hole_timer with
+  | None -> ()
+  | Some ev ->
+    Simulator.cancel t.sim ev;
+    t.hole_timer <- None
+
+(* Deliver the expected frame and everything contiguous after it. *)
+let rec drain t =
+  match Hashtbl.find_opt t.buffer t.expected with
+  | Some payload ->
+    Hashtbl.remove t.buffer t.expected;
+    t.expected <- t.expected + 1;
+    t.resequenced_count <- t.resequenced_count + 1;
+    t.deliver payload;
+    drain t
+  | None -> ()
+
+let rec arm_hole_timer t timeout =
+  cancel_hole_timer t;
+  if Hashtbl.length t.buffer > 0 then
+    t.hole_timer <-
+      Some
+        (Simulator.schedule_after t.sim ~delay:timeout.hole_timeout (fun () ->
+             t.hole_timer <- None;
+             flush_hole t timeout))
+
+(* The missing frame is not coming (discarded by the peer): skip to
+   the earliest buffered frame and continue from there. *)
+and flush_hole t timeout =
+  if Hashtbl.length t.buffer > 0 then begin
+    let next =
+      Hashtbl.fold (fun seq _ acc -> Stdlib.min seq acc) t.buffer max_int
+    in
+    t.hole_count <- t.hole_count + 1;
+    t.expected <- next;
+    drain t;
+    arm_hole_timer t timeout
+  end
+
+let receive_in_order t frame =
+  match t.resequence with
+  | None ->
+    (* Without resequencing the peer either never retransmits (frames
+       are unique) or we at least de-duplicate by link sequence
+       (shared-radio mode, where the ARQ sequence space spans several
+       receivers and cannot be resequenced per receiver). *)
+    if t.dedup then begin
+      if Hashtbl.mem t.seen frame.Frame.seq then
+        t.duplicate_count <- t.duplicate_count + 1
+      else begin
+        Hashtbl.replace t.seen frame.Frame.seq ();
+        t.deliver frame.Frame.payload
+      end
+    end
+    else t.deliver frame.Frame.payload
+  | Some timeout ->
+    let seq = frame.Frame.seq in
+    if Hashtbl.mem t.seen seq then t.duplicate_count <- t.duplicate_count + 1
+    else begin
+      Hashtbl.replace t.seen seq ();
+      if seq = t.expected then begin
+        t.expected <- t.expected + 1;
+        t.deliver frame.Frame.payload;
+        drain t;
+        arm_hole_timer t timeout
+      end
+      else if seq < t.expected then begin
+        (* A straggler behind a hole the timer already flushed:
+           deliver late and out of order rather than lose it. *)
+        t.straggler_count <- t.straggler_count + 1;
+        t.deliver frame.Frame.payload
+      end
+      else begin
+        Hashtbl.replace t.buffer seq frame.Frame.payload;
+        if (match t.hole_timer with None -> true | Some _ -> false) then
+          arm_hole_timer t timeout
+      end
+    end
+
+let receive t frame =
+  t.received_count <- t.received_count + 1;
+  match frame.Frame.payload with
+  | Frame.Link_ack { acked_seq } -> (
+    match t.on_link_ack with
+    | Some f -> f ~acked_seq
+    | None -> ())
+  | Frame.Whole _ | Frame.Fragment _ ->
+    (match t.send_ack with
+    | Some f ->
+      t.ack_count <- t.ack_count + 1;
+      f ~acked_seq:frame.Frame.seq
+    | None -> ());
+    receive_in_order t frame
+
+let pending t = Hashtbl.length t.buffer
+
+let stats t =
+  {
+    frames_received = t.received_count;
+    duplicates = t.duplicate_count;
+    acks_sent = t.ack_count;
+    resequenced = t.resequenced_count;
+    holes_flushed = t.hole_count;
+    stragglers = t.straggler_count;
+  }

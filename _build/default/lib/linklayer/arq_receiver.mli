@@ -1,0 +1,56 @@
+(** Receiving side of the wireless hop.
+
+    Dispatches incoming frames: link acknowledgements go to the local
+    ARQ sender (if any); data frames are acknowledged back to the
+    peer, de-duplicated and — when the peer runs ARQ —
+    {e resequenced}: retransmitted frames arrive out of order, so
+    delivery upward is held until the link sequence gap closes or a
+    hole timeout expires (the peer discards a frame after RTmax
+    failures, leaving a permanent hole). *)
+
+type t
+(** A frame receiver. *)
+
+type stats = {
+  frames_received : int;  (** all frames seen *)
+  duplicates : int;  (** data frames already seen once *)
+  acks_sent : int;  (** link acknowledgements generated *)
+  resequenced : int;  (** frames delivered out of arrival order *)
+  holes_flushed : int;  (** sequence gaps abandoned by the hole timeout *)
+  stragglers : int;
+      (** frames that arrived after their hole was flushed, delivered
+          late and out of order rather than dropped *)
+}
+
+type resequence = {
+  hole_timeout : Sim_engine.Simtime.span;
+      (** how long to wait for a missing link sequence number before
+          giving up on it; should exceed the peer's worst-case
+          per-frame recovery time *)
+}
+
+val create :
+  Sim_engine.Simulator.t ->
+  ?send_ack:(acked_seq:int -> unit) ->
+  ?on_link_ack:(acked_seq:int -> unit) ->
+  ?resequence:resequence ->
+  ?dedup:bool ->
+  deliver:(Frame.payload -> unit) ->
+  unit ->
+  t
+(** [send_ack] transmits a link acknowledgement to the peer (present
+    iff the peer runs ARQ toward us); [on_link_ack] feeds acks to our
+    own ARQ sender (present iff we run ARQ toward the peer);
+    [resequence] enables in-order delivery over the peer's dense ARQ
+    sequence space; [dedup] (without [resequence]) drops repeated link
+    sequence numbers without reordering — for the shared-radio setup
+    where one ARQ sequence space spans several receivers; [deliver]
+    receives each new data payload. *)
+
+val receive : t -> Frame.t -> unit
+(** Entry point wired to the incoming wireless link. *)
+
+val pending : t -> int
+(** Frames held back waiting for a sequence gap to close. *)
+
+val stats : t -> stats

@@ -1,0 +1,24 @@
+(** Retransmission backoff policies for the link-level ARQ.
+
+    The paper's base station "retransmits the lost packet after a
+    random retransmission backoff"; CDPD-style link layers draw a
+    uniform random delay.  A binary-exponential variant is provided
+    for ablations. *)
+
+type policy =
+  | Uniform of Sim_engine.Simtime.span
+      (** Uniform on [[0, max]] — the paper's model. *)
+  | Binary_exponential of {
+      base : Sim_engine.Simtime.span;  (** mean of the first attempt *)
+      cap : Sim_engine.Simtime.span;  (** upper bound on the window *)
+    }
+      (** Uniform on [[0, min (base·2{^attempt-1}, cap)]]. *)
+
+val draw : policy -> Sim_engine.Rng.t -> attempt:int -> Sim_engine.Simtime.span
+(** Backoff before retransmission number [attempt] (first
+    retransmission is attempt 1).  @raise Invalid_argument if
+    [attempt < 1]. *)
+
+val mean : policy -> attempt:int -> Sim_engine.Simtime.span
+(** Expected backoff at the given attempt (for timeout budgeting and
+    tests). *)

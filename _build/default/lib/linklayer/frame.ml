@@ -1,0 +1,36 @@
+type payload =
+  | Whole of Netsim.Packet.t
+  | Fragment of {
+      packet : Netsim.Packet.t;
+      index : int;
+      count : int;
+      bytes : int;
+    }
+  | Link_ack of { acked_seq : int }
+
+type t = { seq : int; payload : payload }
+
+let link_ack_bytes = 8
+
+let payload_bytes = function
+  | Whole pkt -> Netsim.Packet.size pkt
+  | Fragment { bytes; _ } -> bytes
+  | Link_ack _ -> link_ack_bytes
+
+let bytes t = payload_bytes t.payload
+
+let packet t =
+  match t.payload with
+  | Whole pkt | Fragment { packet = pkt; _ } -> Some pkt
+  | Link_ack _ -> None
+
+let conn t = Option.map Netsim.Packet.conn (packet t)
+let is_ack t = match t.payload with Link_ack _ -> true | _ -> false
+
+let pp ppf t =
+  match t.payload with
+  | Whole pkt -> Format.fprintf ppf "frame %d [%a]" t.seq Netsim.Packet.pp pkt
+  | Fragment { packet; index; count; bytes } ->
+    Format.fprintf ppf "frame %d frag %d/%d (%dB) of [%a]" t.seq (index + 1)
+      count bytes Netsim.Packet.pp packet
+  | Link_ack { acked_seq } -> Format.fprintf ppf "frame %d lack %d" t.seq acked_seq

@@ -1,0 +1,43 @@
+(** Link-level frames on the wireless hop.
+
+    A frame carries either a whole network-layer packet (when it fits
+    in the wireless MTU), one fragment of a packet, or a link-level
+    acknowledgement for the stop-and-wait ARQ.  Frames are identified
+    per-direction by a link sequence number assigned at send time. *)
+
+type payload =
+  | Whole of Netsim.Packet.t  (** an unfragmented packet *)
+  | Fragment of {
+      packet : Netsim.Packet.t;  (** the packet being fragmented *)
+      index : int;  (** 0-based fragment index *)
+      count : int;  (** total fragments of this packet *)
+      bytes : int;  (** network-layer bytes carried by this fragment *)
+    }  (** one MTU-sized piece of a larger packet *)
+  | Link_ack of { acked_seq : int }
+      (** ARQ acknowledgement of the frame with that link sequence
+          number *)
+
+type t = { seq : int;  (** link sequence number *) payload : payload }
+
+val link_ack_bytes : int
+(** Network-layer size of a link acknowledgement frame (8 bytes). *)
+
+val bytes : t -> int
+(** Network-layer bytes of the frame before air overhead is applied:
+    the packet size for [Whole], the fragment share for [Fragment],
+    {!link_ack_bytes} for [Link_ack]. *)
+
+val payload_bytes : payload -> int
+(** Same, for a payload not yet assigned a sequence number. *)
+
+val conn : t -> int option
+(** The TCP connection the frame belongs to, if it carries one. *)
+
+val packet : t -> Netsim.Packet.t option
+(** The network packet carried (whole or fragmented), if any. *)
+
+val is_ack : t -> bool
+(** [true] for [Link_ack]. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line rendering for traces. *)

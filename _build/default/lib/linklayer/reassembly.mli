@@ -1,0 +1,36 @@
+(** Fragment reassembly at the receiving end of the wireless link.
+
+    Fragments are collected per network packet; when all have arrived
+    the packet is delivered upward.  Partial packets whose remaining
+    fragments never arrive are purged after a timeout and counted as
+    reassembly failures — the receiver-side cost of "loss of a single
+    fragment causes the whole packet to be dropped". *)
+
+type t
+(** A reassembly buffer. *)
+
+type stats = {
+  delivered : int;  (** packets delivered upward (incl. unfragmented) *)
+  failures : int;  (** partial packets purged by the timeout *)
+  duplicate_fragments : int;  (** fragments ignored as already seen *)
+}
+
+val create :
+  Sim_engine.Simulator.t ->
+  timeout:Sim_engine.Simtime.span ->
+  deliver:(Netsim.Packet.t -> unit) ->
+  t
+(** A buffer delivering completed packets to [deliver].  A partial
+    packet is purged [timeout] after its most recent fragment. *)
+
+val receive : t -> Frame.payload -> unit
+(** Accept a frame payload from the link.  [Whole] packets are
+    delivered immediately; [Fragment]s are buffered.
+    @raise Invalid_argument on [Link_ack] payloads (those belong to
+    the ARQ, not the reassembler). *)
+
+val pending : t -> int
+(** Packets currently awaiting missing fragments. *)
+
+val stats : t -> stats
+(** Counters so far. *)

@@ -1,0 +1,142 @@
+open Sim_engine
+open Netsim
+
+type config = {
+  bandwidth : Units.bandwidth;
+  delay : Simtime.span;
+  overhead_factor : float;
+  ber : Error_model.Loss.ber;
+  decision : Error_model.Loss.decision;
+}
+
+type stats = {
+  frames_sent : int;
+  air_bytes : int;
+  frames_lost : int;
+  frames_delivered : int;
+  drops : int;
+}
+
+type monitor_event =
+  | Enqueued of Frame.t
+  | Tx_start of Frame.t
+  | Delivered of Frame.t
+  | Lost of Frame.t  (* destroyed by bit errors *)
+  | Dropped of Frame.t  (* queue overflow *)
+
+type t = {
+  sim : Simulator.t;
+  link_name : string;
+  cfg : config;
+  channel_for : Frame.t -> Error_model.Channel.t;
+  queue : Frame.t Queue_drop_tail.t;
+  mutable receiver : (Frame.t -> unit) option;
+  mutable monitor : (monitor_event -> unit) option;
+  mutable on_frame_sent : (Frame.t -> unit) option;
+  mutable transmitting : bool;
+  mutable frames_sent : int;
+  mutable air_bytes_total : int;
+  mutable frames_lost : int;
+  mutable frames_delivered : int;
+}
+
+let create sim ~name ~config ~channel_for ~queue_capacity =
+  if config.overhead_factor < 1.0 then
+    invalid_arg "Wireless_link.create: overhead factor below 1";
+  {
+    sim;
+    link_name = name;
+    cfg = config;
+    channel_for;
+    queue = Queue_drop_tail.create ~capacity:queue_capacity ();
+    receiver = None;
+    monitor = None;
+    on_frame_sent = None;
+    transmitting = false;
+    frames_sent = 0;
+    air_bytes_total = 0;
+    frames_lost = 0;
+    frames_delivered = 0;
+  }
+
+let set_receiver t f = t.receiver <- Some f
+let set_monitor t f = t.monitor <- Some f
+let set_on_frame_sent t f = t.on_frame_sent <- Some f
+
+let notify t event =
+  match t.monitor with Some f -> f event | None -> ()
+
+let air_bytes_of t frame =
+  int_of_float (Float.round (t.cfg.overhead_factor *. float_of_int (Frame.bytes frame)))
+
+let air_time t frame =
+  Units.tx_time ~bits:(Units.bits_of_bytes (air_bytes_of t frame)) t.cfg.bandwidth
+
+let deliver t frame =
+  match t.receiver with
+  | None -> failwith ("Wireless_link " ^ t.link_name ^ ": no receiver")
+  | Some f ->
+    t.frames_delivered <- t.frames_delivered + 1;
+    notify t (Delivered frame);
+    f frame
+
+let rec transmit t frame =
+  t.transmitting <- true;
+  notify t (Tx_start frame);
+  let start = Simulator.now t.sim in
+  let airtime = air_time t frame in
+  let finish () =
+    let air = air_bytes_of t frame in
+    t.frames_sent <- t.frames_sent + 1;
+    t.air_bytes_total <- t.air_bytes_total + air;
+    let channel = t.channel_for frame in
+    let segments =
+      Error_model.Channel.segments channel ~start
+        ~stop:(Simtime.add start airtime)
+    in
+    let bits_per_sec =
+      float_of_int (Units.bandwidth_to_bps t.cfg.bandwidth)
+    in
+    let lost =
+      Error_model.Loss.frame_lost t.cfg.decision t.cfg.ber ~bits_per_sec
+        ~segments
+    in
+    (match t.on_frame_sent with Some f -> f frame | None -> ());
+    if lost then begin
+      t.frames_lost <- t.frames_lost + 1;
+      notify t (Lost frame)
+    end
+    else
+      ignore
+        (Simulator.schedule_after t.sim ~delay:t.cfg.delay (fun () ->
+             deliver t frame));
+    match Queue_drop_tail.dequeue t.queue with
+    | Some next -> transmit t next
+    | None -> t.transmitting <- false
+  in
+  ignore (Simulator.schedule_after t.sim ~delay:airtime finish)
+
+let send t frame =
+  (match t.receiver with
+  | None -> failwith ("Wireless_link " ^ t.link_name ^ ": no receiver")
+  | Some _ -> ());
+  if t.transmitting then begin
+    if Queue_drop_tail.enqueue t.queue frame then notify t (Enqueued frame)
+    else notify t (Dropped frame)
+  end
+  else transmit t frame
+
+let busy t = t.transmitting
+let queue_length t = Queue_drop_tail.length t.queue
+
+let stats t =
+  {
+    frames_sent = t.frames_sent;
+    air_bytes = t.air_bytes_total;
+    frames_lost = t.frames_lost;
+    frames_delivered = t.frames_delivered;
+    drops = Queue_drop_tail.drops t.queue;
+  }
+
+let config t = t.cfg
+let name t = t.link_name

@@ -1,0 +1,1 @@
+lib/metrics/nstrace.ml: Link_arq List Netsim Printf Sim_engine Simtime Simulator String

@@ -1,0 +1,1 @@
+lib/metrics/nstrace.mli: Link_arq Netsim Sim_engine

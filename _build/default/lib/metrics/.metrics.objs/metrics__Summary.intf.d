@@ -1,0 +1,1 @@
+lib/metrics/summary.mli: Format

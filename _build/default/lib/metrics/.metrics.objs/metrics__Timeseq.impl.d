@@ -1,0 +1,1 @@
+lib/metrics/timeseq.ml: Array Buffer List Printf Sim_engine Simtime Stdlib String

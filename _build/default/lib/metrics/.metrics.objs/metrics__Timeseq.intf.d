@@ -1,0 +1,1 @@
+lib/metrics/timeseq.mli: Sim_engine

@@ -1,0 +1,1 @@
+lib/metrics/trace.ml: List Sim_engine Simtime

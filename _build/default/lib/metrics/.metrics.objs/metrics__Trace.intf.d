@@ -1,0 +1,1 @@
+lib/metrics/trace.mli: Sim_engine

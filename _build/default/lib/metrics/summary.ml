@@ -1,0 +1,36 @@
+type t = {
+  count : int;
+  mean : float;
+  stddev : float;
+  stderr : float;
+  rel_stddev : float;
+  min : float;
+  max : float;
+}
+
+let mean = function
+  | [] -> invalid_arg "Summary.mean: empty"
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let of_list = function
+  | [] -> invalid_arg "Summary.of_list: empty"
+  | xs ->
+    let n = List.length xs in
+    let mu = mean xs in
+    let sq_err = List.fold_left (fun acc x -> acc +. ((x -. mu) ** 2.0)) 0.0 xs in
+    let stddev =
+      if n < 2 then 0.0 else sqrt (sq_err /. float_of_int (n - 1))
+    in
+    {
+      count = n;
+      mean = mu;
+      stddev;
+      stderr = (if n < 2 then 0.0 else stddev /. sqrt (float_of_int n));
+      rel_stddev = (if mu = 0.0 then 0.0 else stddev /. Float.abs mu);
+      min = List.fold_left Float.min Float.infinity xs;
+      max = List.fold_left Float.max Float.neg_infinity xs;
+    }
+
+let pp ppf t =
+  Format.fprintf ppf "%.1f ±%.1f%% (n=%d)" t.mean (100.0 *. t.rel_stddev)
+    t.count

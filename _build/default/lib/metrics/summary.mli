@@ -1,0 +1,24 @@
+(** Summary statistics over replicated runs.
+
+    The paper reports means over repeated runs with "standard
+    deviation … less than 4%"; this module computes the same
+    aggregates. *)
+
+type t = {
+  count : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n−1) *)
+  stderr : float;  (** standard error of the mean *)
+  rel_stddev : float;  (** stddev / |mean|; 0 when the mean is 0 *)
+  min : float;
+  max : float;
+}
+
+val of_list : float list -> t
+(** @raise Invalid_argument on the empty list. *)
+
+val mean : float list -> float
+(** Arithmetic mean.  @raise Invalid_argument on the empty list. *)
+
+val pp : Format.formatter -> t -> unit
+(** e.g. ["8712.3 ±1.2% (n=5)"]. *)

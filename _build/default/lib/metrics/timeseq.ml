@@ -1,0 +1,41 @@
+open Sim_engine
+
+type config = { width : int; modulo : int; rows : int }
+
+let default_config = { width = 100; modulo = 90; rows = 30 }
+
+let render ?(config = default_config) ~until sends =
+  let { width; modulo; rows } = config in
+  if width <= 0 || modulo <= 0 || rows <= 0 then
+    invalid_arg "Timeseq.render: bad config";
+  let horizon = Simtime.to_sec until in
+  if horizon <= 0.0 then invalid_arg "Timeseq.render: empty window";
+  let grid = Array.make_matrix rows width ' ' in
+  let plot (time, packet_number, retransmit) =
+    let seconds = Simtime.to_sec time in
+    if seconds <= horizon then begin
+      let col =
+        Stdlib.min (width - 1)
+          (int_of_float (seconds /. horizon *. float_of_int width))
+      in
+      let wrapped = packet_number mod modulo in
+      let row = rows - 1 - (wrapped * rows / modulo) in
+      let mark = if retransmit then 'R' else '.' in
+      (* Retransmissions are the interesting marks; let them win. *)
+      if grid.(row).(col) <> 'R' then grid.(row).(col) <- mark
+    end
+  in
+  List.iter plot sends;
+  let buffer = Buffer.create (rows * (width + 8)) in
+  Array.iteri
+    (fun i row ->
+      let label = (rows - 1 - i) * modulo / rows in
+      Buffer.add_string buffer (Printf.sprintf "%3d |" label);
+      Array.iter (Buffer.add_char buffer) row;
+      Buffer.add_char buffer '\n')
+    grid;
+  Buffer.add_string buffer ("    +" ^ String.make width '-' ^ "\n");
+  Buffer.add_string buffer
+    (Printf.sprintf "     0s%*s\n" (width - 2)
+       (Printf.sprintf "%.0fs" horizon));
+  Buffer.contents buffer

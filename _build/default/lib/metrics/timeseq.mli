@@ -1,0 +1,24 @@
+(** ASCII time–sequence plots.
+
+    Renders a packet trace the way the paper's Figures 3–5 do:
+    horizontal axis is time, vertical axis is packet number mod 90.
+    First transmissions print as ["."], source retransmissions as
+    ["R"]; a column header row marks seconds. *)
+
+type config = {
+  width : int;  (** plot columns *)
+  modulo : int;  (** vertical wrap (90 in the paper) *)
+  rows : int;  (** plot rows; packet numbers are scaled down to fit *)
+}
+
+val default_config : config
+(** 100 columns, modulo 90, 30 rows. *)
+
+val render :
+  ?config:config ->
+  until:Sim_engine.Simtime.t ->
+  (Sim_engine.Simtime.t * int * bool) list ->
+  string
+(** [render ~until sends] plots [(time, packet_number, retransmit)]
+    marks for the window [[0, until]].  Retransmissions overwrite
+    first transmissions in a shared cell. *)

@@ -1,0 +1,33 @@
+open Sim_engine
+
+type event =
+  | Send of { packet_number : int; seq : int; retransmit : bool }
+  | Timeout
+  | Ebsn_received
+  | Quench_received
+  | Custom of string
+
+type t = { mutable items : (Simtime.t * event) list; mutable n : int }
+
+let create () = { items = []; n = 0 }
+
+let record t time event =
+  t.items <- (time, event) :: t.items;
+  t.n <- t.n + 1
+
+let events t = List.rev t.items
+let length t = t.n
+
+let sends t =
+  List.filter_map
+    (fun (time, event) ->
+      match event with
+      | Send { packet_number; retransmit; _ } ->
+        Some (time, packet_number, retransmit)
+      | Timeout | Ebsn_received | Quench_received | Custom _ -> None)
+    (events t)
+
+let count t pred =
+  List.fold_left
+    (fun acc (_, e) -> if pred e then acc + 1 else acc)
+    0 (events t)

@@ -1,0 +1,1 @@
+lib/net/cross_traffic.ml: Address Packet Rng Sim_engine Simtime Simulator Stdlib Units

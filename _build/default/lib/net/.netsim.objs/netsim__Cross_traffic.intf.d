@@ -1,0 +1,1 @@
+lib/net/cross_traffic.mli: Address Packet Sim_engine Units

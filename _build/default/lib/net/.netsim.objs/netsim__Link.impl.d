@@ -1,0 +1,1 @@
+lib/net/link.ml: Packet Queue_drop_tail Sim_engine Simtime Simulator Units

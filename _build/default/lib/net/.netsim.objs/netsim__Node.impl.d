@@ -1,0 +1,1 @@
+lib/net/node.ml: Address Format Hashtbl Packet Sim_engine Simulator

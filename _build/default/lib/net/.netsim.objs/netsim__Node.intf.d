@@ -1,0 +1,1 @@
+lib/net/node.mli: Address Packet Sim_engine

@@ -1,0 +1,1 @@
+lib/net/packet.ml: Address Format List Printf Sim_engine Simtime String

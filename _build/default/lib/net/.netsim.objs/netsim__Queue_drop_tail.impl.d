@@ -1,0 +1,1 @@
+lib/net/queue_drop_tail.ml: Queue Stdlib

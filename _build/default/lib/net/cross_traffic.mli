@@ -1,0 +1,41 @@
+(** Background traffic generators.
+
+    Injects a stream of packets into a link to congest it — the
+    substrate for studying the paper's §6 open question (report [18]):
+    how wired-network congestion interacts with base-station feedback.
+    Two patterns: constant bit rate, and exponential on/off bursts. *)
+
+type pattern =
+  | Cbr of { rate : Units.bandwidth; packet_bytes : int }
+      (** packets of [packet_bytes] evenly spaced to average [rate] *)
+  | On_off of {
+      rate : Units.bandwidth;  (** rate while on *)
+      packet_bytes : int;
+      mean_on : Sim_engine.Simtime.span;
+      mean_off : Sim_engine.Simtime.span;
+    }
+      (** exponential on/off bursts at [rate] during on periods *)
+
+type t
+(** A running generator. *)
+
+val start :
+  Sim_engine.Simulator.t ->
+  rng:Sim_engine.Rng.t ->
+  pattern:pattern ->
+  src:Address.t ->
+  dst:Address.t ->
+  conn:int ->
+  alloc_id:(unit -> int) ->
+  send:(Packet.t -> unit) ->
+  t
+(** Start generating immediately.  Packets are TCP-data-shaped with
+    the given connection id (pick one no transport endpoint uses) so
+    existing handlers can ignore them; [send] is typically
+    [Link.send].  Runs until {!stop}. *)
+
+val stop : t -> unit
+(** Stop generating (already-queued packets still drain). *)
+
+val packets_sent : t -> int
+val bytes_sent : t -> int

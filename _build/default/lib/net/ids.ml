@@ -1,0 +1,11 @@
+type t = { mutable next_id : int; mutable count : int }
+
+let create ?(first = 0) () = { next_id = first; count = 0 }
+
+let next t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  t.count <- t.count + 1;
+  id
+
+let issued t = t.count

@@ -1,0 +1,18 @@
+(** Monotonic identifier generators.
+
+    Each simulation run owns its generators, so identifiers are
+    deterministic per run regardless of what ran before in the same
+    process. *)
+
+type t
+(** A counter. *)
+
+val create : ?first:int -> unit -> t
+(** A fresh counter; the first identifier issued is [first]
+    (default 0). *)
+
+val next : t -> int
+(** Issue the next identifier. *)
+
+val issued : t -> int
+(** Number of identifiers issued so far. *)

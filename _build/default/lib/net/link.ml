@@ -1,0 +1,99 @@
+open Sim_engine
+
+type stats = {
+  tx_packets : int;
+  tx_bytes : int;
+  delivered : int;
+  drops : int;
+}
+
+type monitor_event =
+  | Enqueued of Packet.t
+  | Tx_start of Packet.t
+  | Delivered of Packet.t
+  | Dropped of Packet.t
+
+type t = {
+  sim : Simulator.t;
+  link_name : string;
+  link_bandwidth : Units.bandwidth;
+  link_delay : Simtime.span;
+  queue : Packet.t Queue_drop_tail.t;
+  mutable receiver : (Packet.t -> unit) option;
+  mutable monitor : (monitor_event -> unit) option;
+  mutable transmitting : bool;
+  mutable tx_packets : int;
+  mutable tx_bytes : int;
+  mutable delivered : int;
+}
+
+let create sim ~name ~bandwidth ~delay ~queue_capacity =
+  {
+    sim;
+    link_name = name;
+    link_bandwidth = bandwidth;
+    link_delay = delay;
+    queue = Queue_drop_tail.create ~capacity:queue_capacity ();
+    receiver = None;
+    monitor = None;
+    transmitting = false;
+    tx_packets = 0;
+    tx_bytes = 0;
+    delivered = 0;
+  }
+
+let set_receiver t f = t.receiver <- Some f
+let set_monitor t f = t.monitor <- Some f
+
+let notify t event =
+  match t.monitor with Some f -> f event | None -> ()
+
+let deliver t pkt =
+  match t.receiver with
+  | None -> failwith ("Link " ^ t.link_name ^ ": no receiver installed")
+  | Some f ->
+    t.delivered <- t.delivered + 1;
+    notify t (Delivered pkt);
+    f pkt
+
+let rec transmit t pkt =
+  t.transmitting <- true;
+  notify t (Tx_start pkt);
+  let bits = Units.bits_of_bytes (Packet.size pkt) in
+  let tx = Units.tx_time ~bits t.link_bandwidth in
+  let finish () =
+    t.tx_packets <- t.tx_packets + 1;
+    t.tx_bytes <- t.tx_bytes + Packet.size pkt;
+    ignore
+      (Simulator.schedule_after t.sim ~delay:t.link_delay (fun () ->
+           deliver t pkt));
+    match Queue_drop_tail.dequeue t.queue with
+    | Some next -> transmit t next
+    | None -> t.transmitting <- false
+  in
+  ignore (Simulator.schedule_after t.sim ~delay:tx finish)
+
+let send t pkt =
+  (match t.receiver with
+  | None -> failwith ("Link " ^ t.link_name ^ ": no receiver installed")
+  | Some _ -> ());
+  if t.transmitting then begin
+    if Queue_drop_tail.enqueue t.queue pkt then notify t (Enqueued pkt)
+    else notify t (Dropped pkt)
+  end
+  else transmit t pkt
+
+let queue_length t = Queue_drop_tail.length t.queue
+let busy t = t.transmitting
+
+let stats t =
+  {
+    tx_packets = t.tx_packets;
+    tx_bytes = t.tx_bytes;
+    delivered = t.delivered;
+    drops = Queue_drop_tail.drops t.queue;
+  }
+
+let name t = t.link_name
+let bandwidth t = t.link_bandwidth
+let delay t = t.link_delay

@@ -1,0 +1,57 @@
+(** Point-to-point wired link.
+
+    One direction of a full-duplex wired link: serialises packets at
+    the configured bandwidth, then delivers each after the propagation
+    delay.  Arrivals while the transmitter is busy wait in a bounded
+    drop-tail queue.  Wired links are error-free, as in the paper. *)
+
+type t
+(** One link direction. *)
+
+type monitor_event =
+  | Enqueued of Packet.t  (** waiting behind the transmitter *)
+  | Tx_start of Packet.t  (** serialisation begins *)
+  | Delivered of Packet.t  (** handed to the receiver *)
+  | Dropped of Packet.t  (** rejected by the full queue *)
+      (** What a link monitor observes (NS-style trace events). *)
+
+type stats = {
+  tx_packets : int;  (** packets fully serialised *)
+  tx_bytes : int;  (** bytes serialised (network-layer sizes) *)
+  delivered : int;  (** packets handed to the receiver *)
+  drops : int;  (** queue-overflow drops *)
+}
+
+val create :
+  Sim_engine.Simulator.t ->
+  name:string ->
+  bandwidth:Units.bandwidth ->
+  delay:Sim_engine.Simtime.span ->
+  queue_capacity:int ->
+  t
+(** A link with the given rate, propagation delay and queue bound. *)
+
+val set_receiver : t -> (Packet.t -> unit) -> unit
+(** Install the function invoked for each delivered packet.  Must be
+    called before the first {!send}. *)
+
+val set_monitor : t -> (monitor_event -> unit) -> unit
+(** Install an observer for every queue/transmit/deliver/drop event
+    (used by the NS-style trace writer). *)
+
+val send : t -> Packet.t -> unit
+(** Enqueue a packet for transmission.
+    @raise Failure if no receiver is installed. *)
+
+val queue_length : t -> int
+(** Packets waiting (not counting the one being serialised). *)
+
+val busy : t -> bool
+(** [true] while a packet is on the wire. *)
+
+val stats : t -> stats
+(** Counters so far. *)
+
+val name : t -> string
+val bandwidth : t -> Units.bandwidth
+val delay : t -> Sim_engine.Simtime.span

@@ -1,0 +1,46 @@
+(** Network nodes.
+
+    A node has an address, a forwarding table mapping destination
+    addresses to output functions (typically [Link.send] of an
+    attached link, or a link-layer agent wrapping one), and a local
+    handler for packets addressed to it.
+
+    A {e forward hook} lets transport-aware agents at intermediate
+    nodes (the snoop agent, the split-connection relay) inspect or
+    consume packets in transit, as the paper's related-work schemes
+    require. *)
+
+type t
+(** A node. *)
+
+val create : Sim_engine.Simulator.t -> name:string -> addr:Address.t -> t
+(** A node with no routes and no local handler. *)
+
+val addr : t -> Address.t
+val name : t -> string
+val sim : t -> Sim_engine.Simulator.t
+
+val add_route : t -> dst:Address.t -> via:(Packet.t -> unit) -> unit
+(** Route packets for [dst] through [via].  Replaces any previous
+    route for [dst]. *)
+
+val set_local_handler : t -> (Packet.t -> unit) -> unit
+(** Handler for packets whose destination is this node. *)
+
+val set_forward_hook : t -> (Packet.t -> bool) -> unit
+(** Called on every packet this node forwards; returning [true]
+    consumes the packet (it is not forwarded further). *)
+
+val send : t -> Packet.t -> unit
+(** Originate or forward a packet: looks up the route for the
+    packet's destination.  @raise Failure if no route exists. *)
+
+val receive : t -> Packet.t -> unit
+(** Entry point wired to incoming links: delivers locally or
+    forwards. *)
+
+val forwarded : t -> int
+(** Packets this node has forwarded. *)
+
+val delivered_locally : t -> int
+(** Packets delivered to the local handler. *)

@@ -1,0 +1,76 @@
+open Sim_engine
+
+type kind =
+  | Tcp_data of { conn : int; seq : int; length : int; is_retransmit : bool }
+  | Tcp_ack of { conn : int; ack : int; sack : (int * int) list }
+  | Ebsn of { conn : int }
+  | Source_quench of { conn : int }
+
+type t = {
+  id : int;
+  src : Address.t;
+  dst : Address.t;
+  kind : kind;
+  header_bytes : int;
+  payload_bytes : int;
+  created : Simtime.t;
+}
+
+let payload_of_kind = function
+  | Tcp_data { length; _ } -> length
+  | Tcp_ack _ | Ebsn _ | Source_quench _ -> 0
+
+let create ~id ~src ~dst ~kind ~header_bytes ~created =
+  if header_bytes < 0 then invalid_arg "Packet.create: negative header";
+  let payload_bytes = payload_of_kind kind in
+  if payload_bytes < 0 then invalid_arg "Packet.create: negative payload";
+  { id; src; dst; kind; header_bytes; payload_bytes; created }
+
+let size t = t.header_bytes + t.payload_bytes
+
+let conn t =
+  match t.kind with
+  | Tcp_data { conn; _ }
+  | Tcp_ack { conn; _ }
+  | Ebsn { conn }
+  | Source_quench { conn } ->
+    conn
+
+let is_data t = match t.kind with Tcp_data _ -> true | _ -> false
+let is_ack t = match t.kind with Tcp_ack _ -> true | _ -> false
+
+let retransmit t ~id ~created =
+  match t.kind with
+  | Tcp_data d ->
+    { t with id; created; kind = Tcp_data { d with is_retransmit = true } }
+  | Tcp_ack _ | Ebsn _ | Source_quench _ ->
+    invalid_arg "Packet.retransmit: not a data packet"
+
+let kind_label t =
+  match t.kind with
+  | Tcp_data _ -> "data"
+  | Tcp_ack _ -> "ack"
+  | Ebsn _ -> "ebsn"
+  | Source_quench _ -> "quench"
+
+let pp ppf t =
+  match t.kind with
+  | Tcp_data { conn; seq; length; is_retransmit } ->
+    Format.fprintf ppf "#%d data c%d seq=%d len=%d%s %a->%a" t.id conn seq
+      length
+      (if is_retransmit then " (retx)" else "")
+      Address.pp t.src Address.pp t.dst
+  | Tcp_ack { conn; ack; sack } ->
+    Format.fprintf ppf "#%d ack c%d ack=%d%s %a->%a" t.id conn ack
+      (if sack = [] then ""
+       else
+         " sack="
+         ^ String.concat ","
+             (List.map (fun (a, b) -> Printf.sprintf "%d-%d" a b) sack))
+      Address.pp t.src Address.pp t.dst
+  | Ebsn { conn } ->
+    Format.fprintf ppf "#%d ebsn c%d %a->%a" t.id conn Address.pp t.src
+      Address.pp t.dst
+  | Source_quench { conn } ->
+    Format.fprintf ppf "#%d quench c%d %a->%a" t.id conn Address.pp t.src
+      Address.pp t.dst

@@ -1,0 +1,73 @@
+(** Network-layer packets.
+
+    Packets are immutable records.  The [kind] carries the transport
+    payload description; no byte buffers are simulated, only sizes and
+    sequence metadata. *)
+
+type kind =
+  | Tcp_data of {
+      conn : int;  (** connection identifier *)
+      seq : int;  (** byte offset of the first payload byte *)
+      length : int;  (** payload bytes *)
+      is_retransmit : bool;  (** true if re-sent by the TCP source *)
+    }
+      (** A TCP data segment. *)
+  | Tcp_ack of {
+      conn : int;
+      ack : int;  (** next byte expected by the receiver *)
+      sack : (int * int) list;
+          (** up to three selective-acknowledgement blocks
+              [(start, stop)) of out-of-order data held by the
+              receiver (RFC 2018); empty unless the receiver has
+              buffered segments *)
+    }  (** A cumulative acknowledgement. *)
+  | Ebsn of { conn : int }
+      (** Explicit Bad State Notification from a base station (the
+          paper's new ICMP message type). *)
+  | Source_quench of { conn : int }
+      (** ICMP source quench (RFC 792), the paper's §4.2.2 baseline. *)
+
+type t = private {
+  id : int;  (** unique per run *)
+  src : Address.t;
+  dst : Address.t;
+  kind : kind;
+  header_bytes : int;
+  payload_bytes : int;
+  created : Sim_engine.Simtime.t;  (** time the packet was first transmitted *)
+}
+
+val create :
+  id:int ->
+  src:Address.t ->
+  dst:Address.t ->
+  kind:kind ->
+  header_bytes:int ->
+  created:Sim_engine.Simtime.t ->
+  t
+(** Build a packet.  [payload_bytes] is derived from [kind]
+    ([length] for data, 0 otherwise).
+    @raise Invalid_argument on negative sizes. *)
+
+val size : t -> int
+(** Total bytes on the wire at the network layer
+    (header + payload). *)
+
+val conn : t -> int
+(** The connection identifier carried by any packet kind. *)
+
+val is_data : t -> bool
+(** [true] for [Tcp_data]. *)
+
+val is_ack : t -> bool
+(** [true] for [Tcp_ack]. *)
+
+val retransmit : t -> id:int -> created:Sim_engine.Simtime.t -> t
+(** A copy of a data packet marked as a source retransmission, with a
+    fresh identifier.  @raise Invalid_argument on non-data packets. *)
+
+val kind_label : t -> string
+(** Short label for traces: ["data"], ["ack"], ["ebsn"], ["quench"]. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line human-readable rendering. *)

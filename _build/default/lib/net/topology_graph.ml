@@ -1,0 +1,81 @@
+type t = {
+  mutable node_list : Address.t list;  (* reversed insertion order *)
+  adjacency : (int, Address.t list ref) Hashtbl.t;
+}
+
+let create () = { node_list = []; adjacency = Hashtbl.create 8 }
+
+let mem t a = Hashtbl.mem t.adjacency (Address.to_int a)
+
+let add_node t a =
+  if not (mem t a) then begin
+    t.node_list <- a :: t.node_list;
+    Hashtbl.replace t.adjacency (Address.to_int a) (ref [])
+  end
+
+let adj t a = Hashtbl.find t.adjacency (Address.to_int a)
+
+let add_edge t a b =
+  if Address.equal a b then invalid_arg "Topology_graph.add_edge: self loop";
+  if not (mem t a && mem t b) then
+    invalid_arg "Topology_graph.add_edge: undeclared endpoint";
+  let la = adj t a and lb = adj t b in
+  if not (List.exists (Address.equal b) !la) then la := !la @ [ b ];
+  if not (List.exists (Address.equal a) !lb) then lb := !lb @ [ a ]
+
+let nodes t = List.rev t.node_list
+let neighbours t a = !(adj t a)
+
+(* BFS from [src]; records each visited node's predecessor. *)
+let bfs t src =
+  let pred = Hashtbl.create 8 in
+  let visited = Hashtbl.create 8 in
+  Hashtbl.replace visited (Address.to_int src) ();
+  let frontier = Queue.create () in
+  Queue.add src frontier;
+  while not (Queue.is_empty frontier) do
+    let u = Queue.take frontier in
+    let visit v =
+      if not (Hashtbl.mem visited (Address.to_int v)) then begin
+        Hashtbl.replace visited (Address.to_int v) ();
+        Hashtbl.replace pred (Address.to_int v) u;
+        Queue.add v frontier
+      end
+    in
+    List.iter visit (neighbours t u)
+  done;
+  pred
+
+let next_hops t ~src =
+  if not (mem t src) then invalid_arg "Topology_graph.next_hops: unknown node";
+  let pred = bfs t src in
+  let hop_to dst =
+    (* Walk predecessors back from dst until the node whose
+       predecessor is src: that node is the first hop. *)
+    let rec walk v =
+      match Hashtbl.find_opt pred (Address.to_int v) with
+      | None -> None
+      | Some p -> if Address.equal p src then Some v else walk p
+    in
+    walk dst
+  in
+  List.filter_map
+    (fun dst ->
+      if Address.equal dst src then None
+      else match hop_to dst with None -> None | Some h -> Some (dst, h))
+    (nodes t)
+
+let path t ~src ~dst =
+  if not (mem t src && mem t dst) then
+    invalid_arg "Topology_graph.path: unknown node";
+  if Address.equal src dst then Some [ src ]
+  else
+    let pred = bfs t src in
+    let rec build acc v =
+      if Address.equal v src then Some (src :: acc)
+      else
+        match Hashtbl.find_opt pred (Address.to_int v) with
+        | None -> None
+        | Some p -> build (v :: acc) p
+    in
+    build [] dst

@@ -1,0 +1,34 @@
+(** Static topology description and route computation.
+
+    A small undirected graph over node addresses.  Routes are computed
+    by breadth-first search (all links are equal cost), producing for
+    each node a next-hop table that the wiring layer turns into
+    [Node.add_route] entries. *)
+
+type t
+(** A topology under construction. *)
+
+val create : unit -> t
+(** An empty topology. *)
+
+val add_node : t -> Address.t -> unit
+(** Declare a node.  Idempotent. *)
+
+val add_edge : t -> Address.t -> Address.t -> unit
+(** Declare a bidirectional link between two declared nodes.
+    @raise Invalid_argument if either endpoint is undeclared or the
+    endpoints are equal. *)
+
+val nodes : t -> Address.t list
+(** Declared nodes, in insertion order. *)
+
+val neighbours : t -> Address.t -> Address.t list
+(** Adjacent nodes, in insertion order. *)
+
+val next_hops : t -> src:Address.t -> (Address.t * Address.t) list
+(** [(dst, hop)] pairs: to reach [dst] from [src], forward to the
+    neighbour [hop].  Unreachable destinations are omitted; [src]
+    itself is omitted. *)
+
+val path : t -> src:Address.t -> dst:Address.t -> Address.t list option
+(** The hop-by-hop shortest path including both endpoints, if any. *)

@@ -1,0 +1,25 @@
+open Sim_engine
+
+type bandwidth = int
+
+let bps n =
+  if n <= 0 then invalid_arg "Units.bps: rate must be positive";
+  n
+
+let kbps x = bps (int_of_float (Float.round (x *. 1e3)))
+let mbps x = bps (int_of_float (Float.round (x *. 1e6)))
+let bandwidth_to_bps b = b
+let bits_of_bytes n = 8 * n
+
+let tx_time ~bits b =
+  if bits < 0 then invalid_arg "Units.tx_time: negative bit count";
+  (* bits/b seconds = bits * 1e9 / b nanoseconds; 64-bit ints hold
+     bits * 1e9 for any frame this simulator transmits. *)
+  Simtime.span_ns ((bits * 1_000_000_000) / b)
+
+let bytes_per_sec b = float_of_int b /. 8.0
+
+let pp_bandwidth ppf b =
+  if b >= 1_000_000 then Format.fprintf ppf "%.1fMbps" (float_of_int b /. 1e6)
+  else if b >= 1_000 then Format.fprintf ppf "%.1fkbps" (float_of_int b /. 1e3)
+  else Format.fprintf ppf "%dbps" b

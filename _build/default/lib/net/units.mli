@@ -1,0 +1,34 @@
+(** Bandwidth and size units.
+
+    All link rates are integers in bits per second; packet sizes are
+    integers in bytes.  Transmission times are computed in integer
+    nanoseconds via {!tx_time}. *)
+
+type bandwidth = private int
+(** A link rate in bits per second. *)
+
+val bps : int -> bandwidth
+(** [bps n] is [n] bits per second.
+    @raise Invalid_argument if [n <= 0]. *)
+
+val kbps : float -> bandwidth
+(** [kbps x] is [x] kilobits per second (1 kbps = 1000 bps). *)
+
+val mbps : float -> bandwidth
+(** [mbps x] is [x] megabits per second. *)
+
+val bandwidth_to_bps : bandwidth -> int
+(** The rate in bits per second. *)
+
+val bits_of_bytes : int -> int
+(** [bits_of_bytes n] is [8 * n]. *)
+
+val tx_time : bits:int -> bandwidth -> Sim_engine.Simtime.span
+(** Time to serialise [bits] onto a link of the given rate, rounded to
+    the nearest nanosecond.  @raise Invalid_argument if [bits < 0]. *)
+
+val bytes_per_sec : bandwidth -> float
+(** The rate in bytes per second. *)
+
+val pp_bandwidth : Format.formatter -> bandwidth -> unit
+(** Prints e.g. ["19.2kbps"] or ["2.0Mbps"]. *)

@@ -1,0 +1,1 @@
+lib/tcp/bulk_app.ml: Format Sim_engine Simtime Tahoe_sender Tcp_config Tcp_sink Tcp_stats

@@ -1,0 +1,1 @@
+lib/tcp/bulk_app.mli: Format Sim_engine Tahoe_sender Tcp_config Tcp_sink Tcp_stats

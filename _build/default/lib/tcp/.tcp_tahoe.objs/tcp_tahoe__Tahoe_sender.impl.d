@@ -1,0 +1,1 @@
+lib/tcp/tahoe_sender.ml: Address Float List Netsim Packet Rto Sim_engine Simtime Simulator Stdlib Tcp_config Tcp_stats

@@ -1,0 +1,1 @@
+lib/tcp/tahoe_sender.mli: Netsim Rto Sim_engine Tcp_config Tcp_stats

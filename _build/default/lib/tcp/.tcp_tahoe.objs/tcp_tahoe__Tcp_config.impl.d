@@ -1,0 +1,1 @@
+lib/tcp/tcp_config.ml: Float Sim_engine Simtime

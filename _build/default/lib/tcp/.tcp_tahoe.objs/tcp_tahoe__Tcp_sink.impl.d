@@ -1,0 +1,1 @@
+lib/tcp/tcp_sink.ml: Address List Netsim Packet Sim_engine Simtime Simulator Stdlib Tcp_config

@@ -1,0 +1,1 @@
+lib/tcp/tcp_sink.mli: Netsim Sim_engine Tcp_config

@@ -1,0 +1,41 @@
+(** Retransmission-timeout estimation.
+
+    Jacobson's smoothed RTT and variance estimator with Karn's rule
+    (the caller must not feed samples from retransmitted segments) and
+    exponential backoff on successive timeouts, all at the coarse
+    clock granularity of the paper's §4.2.1: round-trip times are
+    measured in whole ticks. *)
+
+type t
+(** Estimator state for one connection. *)
+
+val create :
+  initial_ticks:int -> min_ticks:int -> max_ticks:int -> max_backoff:int -> t
+(** A fresh estimator whose first timeout is [initial_ticks]. *)
+
+val sample : t -> rtt_ticks:int -> unit
+(** Feed a round-trip measurement (Jacobson: gain 1/8 on the mean,
+    1/4 on the deviation).  Per Karn's algorithm, call only for
+    segments that were not retransmitted. *)
+
+val backoff : t -> unit
+(** Double the timeout multiplier (up to the cap) after a timeout. *)
+
+val reset_backoff : t -> unit
+(** Clear the multiplier — on an acknowledgement of new data. *)
+
+val current_ticks : t -> int
+(** The retransmission timeout, in ticks: [(srtt + 4·rttvar) ×
+    backoff], clamped to the configured bounds. *)
+
+val srtt_ticks : t -> float
+(** Smoothed RTT estimate (ticks); 0 before the first sample. *)
+
+val rttvar_ticks : t -> float
+(** Smoothed deviation estimate (ticks). *)
+
+val backoff_multiplier : t -> int
+(** Current backoff multiplier (1 when not backed off). *)
+
+val samples : t -> int
+(** Number of measurements fed so far. *)

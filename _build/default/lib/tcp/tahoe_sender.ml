@@ -1,0 +1,374 @@
+open Sim_engine
+open Netsim
+
+type t = {
+  sim : Simulator.t;
+  cfg : Tcp_config.t;
+  conn : int;
+  src : Address.t;
+  dst : Address.t;
+  total : int;
+  alloc_id : unit -> int;
+  transmit : Packet.t -> unit;
+  stats : Tcp_stats.t;
+  rto_state : Rto.t;
+  mutable snd_una : int;
+  mutable snd_nxt : int;
+  mutable max_sent : int;  (* bytes [0, max_sent) have been sent at least once *)
+  mutable available : int;  (* bytes [0, available) exist at the application *)
+  mutable cwnd : float;  (* bytes *)
+  mutable ssthresh : int;  (* bytes *)
+  mutable dupacks : int;
+  mutable recover : int;  (* highest byte sent when loss recovery last began *)
+  mutable in_fast_recovery : bool;  (* Reno and Sack *)
+  mutable sacked : (int * int) list;  (* receiver-reported blocks, merged *)
+  mutable hole_cursor : int;  (* next byte to consider for hole retransmission *)
+  mutable timing : (int * Simtime.t) option;  (* (first byte, send time) *)
+  mutable timer : Simulator.event option;
+  mutable timer_ticks : int;  (* duration the pending timer was armed with *)
+  mutable is_complete : bool;
+  mutable on_complete : (unit -> unit) option;
+  mutable on_send : (Packet.t -> unit) option;
+  mutable on_timeout_hook : (unit -> unit) option;
+}
+
+let create sim ~config ~conn ~src ~dst ~total_bytes ~alloc_id ~transmit =
+  Tcp_config.validate config;
+  if total_bytes <= 0 then invalid_arg "Tahoe_sender.create: nothing to send";
+  {
+    sim;
+    cfg = config;
+    conn;
+    src;
+    dst;
+    total = total_bytes;
+    alloc_id;
+    transmit;
+    stats = Tcp_stats.create ();
+    rto_state =
+      Rto.create ~initial_ticks:config.initial_rto_ticks
+        ~min_ticks:config.min_rto_ticks ~max_ticks:config.max_rto_ticks
+        ~max_backoff:config.max_backoff;
+    snd_una = 0;
+    snd_nxt = 0;
+    max_sent = 0;
+    available = total_bytes;
+    cwnd = float_of_int config.mss;
+    ssthresh = config.window;
+    dupacks = 0;
+    recover = -1;
+    in_fast_recovery = false;
+    sacked = [];
+    hole_cursor = 0;
+    timing = None;
+    timer = None;
+    timer_ticks = 0;
+    is_complete = false;
+    on_complete = None;
+    on_send = None;
+    on_timeout_hook = None;
+  }
+
+let set_on_complete t f = t.on_complete <- Some f
+let set_on_send t f = t.on_send <- Some f
+let set_on_timeout t f = t.on_timeout_hook <- Some f
+let stats t = t.stats
+let snd_una t = t.snd_una
+let snd_nxt t = t.snd_nxt
+let cwnd_bytes t = int_of_float t.cwnd
+let ssthresh_bytes t = t.ssthresh
+let rto t = t.rto_state
+let completed t = t.is_complete
+
+let in_fast_recovery t = t.in_fast_recovery
+let timer_pending t = match t.timer with Some _ -> true | None -> false
+
+let cancel_timer t =
+  match t.timer with
+  | None -> ()
+  | Some ev ->
+    Simulator.cancel t.sim ev;
+    t.timer <- None
+
+(* Coarse timers: the timeout expires on the first clock-tick boundary
+   at least [ticks] ticks away, as a BSD-style tick-decremented timer
+   would. *)
+let rec arm_timer t ~ticks =
+  cancel_timer t;
+  let tick_ns = Simtime.span_to_ns t.cfg.tick in
+  let now_ns = Simtime.to_ns (Simulator.now t.sim) in
+  let to_grid = (tick_ns - (now_ns mod tick_ns)) mod tick_ns in
+  let delay = Simtime.span_ns ((ticks * tick_ns) + to_grid) in
+  t.timer_ticks <- ticks;
+  t.timer <- Some (Simulator.schedule_after t.sim ~delay (fun () -> on_timeout t))
+
+and effective_window t =
+  Stdlib.min (int_of_float t.cwnd) t.cfg.window
+
+and emit_segment t ~seq ~len =
+  let is_retransmit = seq < t.max_sent in
+  let pkt =
+    Packet.create ~id:(t.alloc_id ()) ~src:t.src ~dst:t.dst
+      ~kind:(Packet.Tcp_data { conn = t.conn; seq; length = len; is_retransmit })
+      ~header_bytes:t.cfg.header_bytes ~created:(Simulator.now t.sim)
+  in
+  t.stats.Tcp_stats.packets_sent <- t.stats.Tcp_stats.packets_sent + 1;
+  t.stats.Tcp_stats.bytes_sent <- t.stats.Tcp_stats.bytes_sent + len;
+  t.stats.Tcp_stats.wire_bytes_sent <-
+    t.stats.Tcp_stats.wire_bytes_sent + Packet.size pkt;
+  if is_retransmit then begin
+    t.stats.Tcp_stats.packets_retransmitted <-
+      t.stats.Tcp_stats.packets_retransmitted + 1;
+    t.stats.Tcp_stats.bytes_retransmitted <-
+      t.stats.Tcp_stats.bytes_retransmitted + len;
+    (* Karn: a retransmitted segment must not produce an RTT sample. *)
+    match t.timing with
+    | Some (timed_seq, _) when timed_seq >= seq -> t.timing <- None
+    | Some _ | None -> ()
+  end
+  else if
+    match t.timing with None -> true | Some _ -> false
+  then t.timing <- Some (seq, Simulator.now t.sim);
+  (match t.on_send with Some f -> f pkt | None -> ());
+  t.transmit pkt
+
+and send_window t =
+  let limit =
+    Stdlib.min
+      (Stdlib.min (t.snd_una + effective_window t) t.total)
+      t.available
+  in
+  let progressed = ref false in
+  while t.snd_nxt < limit do
+    let len = Stdlib.min t.cfg.mss (limit - t.snd_nxt) in
+    emit_segment t ~seq:t.snd_nxt ~len;
+    t.snd_nxt <- t.snd_nxt + len;
+    t.max_sent <- Stdlib.max t.max_sent t.snd_nxt;
+    progressed := true
+  done;
+  if !progressed && not (timer_pending t) then
+    arm_timer t ~ticks:(Rto.current_ticks t.rto_state)
+
+and on_timeout t =
+  t.timer <- None;
+  t.stats.Tcp_stats.timeouts <- t.stats.Tcp_stats.timeouts + 1;
+  (match t.on_timeout_hook with Some f -> f () | None -> ());
+  (* Timeout value doubles on consecutive losses (paper §1); the
+     estimate is only refreshed by an ack of a non-retransmitted
+     packet, which Karn's rule already guarantees. *)
+  Rto.backoff t.rto_state;
+  enter_loss_recovery t;
+  arm_timer t ~ticks:(Rto.current_ticks t.rto_state);
+  send_window t
+
+(* Tahoe loss reaction: ssthresh to half the flight, window to one
+   segment, go-back-N from the last cumulative ack. *)
+and enter_loss_recovery t =
+  let flight = Stdlib.min (effective_window t) (t.snd_nxt - t.snd_una) in
+  t.ssthresh <- Stdlib.max (2 * t.cfg.mss) (flight / 2);
+  t.cwnd <- float_of_int t.cfg.mss;
+  t.dupacks <- 0;
+  t.recover <- t.max_sent;
+  t.in_fast_recovery <- false;
+  (* A timeout invalidates the scoreboard (conservative, RFC 2018 §8). *)
+  t.sacked <- [];
+  t.timing <- None;
+  t.snd_nxt <- t.snd_una
+
+let grow_cwnd t =
+  let mss = float_of_int t.cfg.mss in
+  if t.cwnd < float_of_int t.ssthresh then t.cwnd <- t.cwnd +. mss
+  else t.cwnd <- t.cwnd +. (mss *. mss /. t.cwnd);
+  (* No point growing past what the receiver will ever grant. *)
+  t.cwnd <- Stdlib.min t.cwnd (float_of_int (4 * t.cfg.window))
+
+let complete t =
+  if not t.is_complete then begin
+    t.is_complete <- true;
+    cancel_timer t;
+    match t.on_complete with Some f -> f () | None -> ()
+  end
+
+let elapsed_ticks t since =
+  let ns = Simtime.span_to_ns (Simtime.diff (Simulator.now t.sim) since) in
+  1 + (ns / Simtime.span_to_ns t.cfg.tick)
+
+(* Merge a receiver-reported block into the scoreboard (sorted,
+   disjoint). *)
+let rec insert_block blocks (start, stop) =
+  match blocks with
+  | [] -> [ (start, stop) ]
+  | (s, e) :: rest ->
+    if stop < s then (start, stop) :: blocks
+    else if e < start then (s, e) :: insert_block rest (start, stop)
+    else insert_block rest (Stdlib.min s start, Stdlib.max e stop)
+
+let record_sack t blocks =
+  List.iter
+    (fun (start, stop) ->
+      if stop > start && start >= t.snd_una then
+        t.sacked <- insert_block t.sacked (start, stop))
+    blocks;
+  (* Drop blocks the cumulative ack has overtaken. *)
+  t.sacked <- List.filter (fun (_, stop) -> stop > t.snd_una) t.sacked
+
+(* The first un-SACKed hole at or above the recovery cursor, if the
+   scoreboard proves one (data above it has been received). *)
+let next_hole t =
+  let rec scan cursor = function
+    | [] -> None
+    | (s, e) :: rest ->
+      if cursor < s then Some (cursor, s) else scan (Stdlib.max cursor e) rest
+  in
+  scan (Stdlib.max t.snd_una t.hole_cursor) t.sacked
+
+(* Retransmit one segment of the lowest unfilled hole and advance the
+   cursor past it, so successive acks walk distinct holes rather than
+   re-sending the first one.  Returns false when the scoreboard shows
+   no hole left. *)
+let retransmit_hole t =
+  match next_hole t with
+  | None -> false
+  | Some (start, stop) ->
+    let len =
+      Stdlib.min (Stdlib.min t.cfg.mss (stop - start)) (t.total - start)
+    in
+    if len <= 0 then false
+    else begin
+      emit_segment t ~seq:start ~len;
+      t.hole_cursor <- start + len;
+      true
+    end
+
+(* Tahoe: collapse to one segment and go-back-N.  Reno: retransmit the
+   missing segment only and enter fast recovery (RFC 2581): ssthresh =
+   flight/2, cwnd inflated by one segment per further duplicate ack,
+   deflated to ssthresh when new data is acknowledged.  Sack: enter
+   recovery like Reno but use the scoreboard to retransmit exactly the
+   holes, one per arriving ack (RFC 2018/6675, simplified). *)
+let fast_retransmit t =
+  t.stats.Tcp_stats.fast_retransmits <- t.stats.Tcp_stats.fast_retransmits + 1;
+  match t.cfg.flavor with
+  | Tcp_config.Tahoe ->
+    enter_loss_recovery t;
+    arm_timer t ~ticks:(Rto.current_ticks t.rto_state);
+    send_window t
+  | Tcp_config.Reno ->
+    let flight = Stdlib.min (effective_window t) (t.snd_nxt - t.snd_una) in
+    t.ssthresh <- Stdlib.max (2 * t.cfg.mss) (flight / 2);
+    t.recover <- t.max_sent;
+    t.in_fast_recovery <- true;
+    t.timing <- None;
+    let len = Stdlib.min t.cfg.mss (t.total - t.snd_una) in
+    emit_segment t ~seq:t.snd_una ~len;
+    t.cwnd <- float_of_int (t.ssthresh + (3 * t.cfg.mss));
+    arm_timer t ~ticks:(Rto.current_ticks t.rto_state)
+  | Tcp_config.Sack ->
+    let flight = Stdlib.min (effective_window t) (t.snd_nxt - t.snd_una) in
+    t.ssthresh <- Stdlib.max (2 * t.cfg.mss) (flight / 2);
+    t.recover <- t.max_sent;
+    t.in_fast_recovery <- true;
+    t.timing <- None;
+    t.hole_cursor <- t.snd_una;
+    t.cwnd <- float_of_int t.ssthresh;
+    if not (retransmit_hole t) then begin
+      let len = Stdlib.min t.cfg.mss (t.total - t.snd_una) in
+      emit_segment t ~seq:t.snd_una ~len
+    end;
+    arm_timer t ~ticks:(Rto.current_ticks t.rto_state)
+
+let handle_ack ?(sack = []) t ~ack =
+  if not t.is_complete then begin
+    if t.cfg.flavor = Tcp_config.Sack then record_sack t sack;
+    if ack > t.snd_una then begin
+      t.stats.Tcp_stats.acks_received <- t.stats.Tcp_stats.acks_received + 1;
+      (match t.timing with
+      | Some (seq, sent_at) when ack > seq ->
+        Rto.sample t.rto_state ~rtt_ticks:(elapsed_ticks t sent_at);
+        t.stats.Tcp_stats.rtt_samples <- t.stats.Tcp_stats.rtt_samples + 1;
+        t.timing <- None
+      | Some _ | None -> ());
+      Rto.reset_backoff t.rto_state;
+      t.dupacks <- 0;
+      (if t.in_fast_recovery then begin
+         match t.cfg.flavor with
+         | Tcp_config.Sack when ack < t.recover ->
+           (* Partial ack: keep recovering, fill the next hole. *)
+           t.snd_una <- ack;
+           t.sacked <- List.filter (fun (_, stop) -> stop > ack) t.sacked;
+           ignore (retransmit_hole t)
+         | Tcp_config.Tahoe | Tcp_config.Reno | Tcp_config.Sack ->
+           (* Recovery complete: deflate to ssthresh. *)
+           t.in_fast_recovery <- false;
+           t.cwnd <- float_of_int t.ssthresh
+       end
+       else grow_cwnd t);
+      t.snd_una <- ack;
+      t.sacked <- List.filter (fun (_, stop) -> stop > ack) t.sacked;
+      if t.snd_nxt < t.snd_una then t.snd_nxt <- t.snd_una;
+      if t.snd_una >= t.total then complete t
+      else begin
+        arm_timer t ~ticks:(Rto.current_ticks t.rto_state);
+        send_window t
+      end
+    end
+    else begin
+      t.stats.Tcp_stats.dupacks_received <-
+        t.stats.Tcp_stats.dupacks_received + 1;
+      t.dupacks <- t.dupacks + 1;
+      if t.in_fast_recovery then begin
+        match t.cfg.flavor with
+        | Tcp_config.Sack ->
+          (* One hole retransmission per arriving ack; new data once
+             the scoreboard is clean. *)
+          if not (retransmit_hole t) then begin
+            t.cwnd <- t.cwnd +. float_of_int t.cfg.mss;
+            send_window t
+          end
+        | Tcp_config.Tahoe | Tcp_config.Reno ->
+          (* Window inflation: each duplicate ack signals a departure. *)
+          t.cwnd <- t.cwnd +. float_of_int t.cfg.mss;
+          send_window t
+      end
+      else if t.dupacks = t.cfg.dupack_threshold && t.snd_una > t.recover
+      then
+        (* One fast retransmit per window of data (ns-style [recover]
+           guard): duplicate acks generated by the recovery burst must
+           not trigger another collapse. *)
+        fast_retransmit t
+    end
+  end
+
+let handle_ebsn t =
+  t.stats.Tcp_stats.ebsns_received <- t.stats.Tcp_stats.ebsns_received + 1;
+  (* Paper appendix: cancel the pending timer and set a new one with
+     an identical timeout value; estimates are untouched.  The scale
+     knob exists to reproduce the paper's footnote about too-small /
+     too-large replacement values. *)
+  if (not t.is_complete) && timer_pending t then
+    let scaled =
+      int_of_float
+        (Float.round (t.cfg.ebsn_rearm_scale *. float_of_int t.timer_ticks))
+    in
+    (* Clamp: repeated scaling must not compound past the RTO bounds. *)
+    let ticks =
+      Stdlib.max t.cfg.min_rto_ticks (Stdlib.min t.cfg.max_rto_ticks scaled)
+    in
+    arm_timer t ~ticks
+
+let handle_quench t =
+  t.stats.Tcp_stats.quenches_received <- t.stats.Tcp_stats.quenches_received + 1;
+  (* BSD tcp_quench: collapse to one segment, leave ssthresh alone. *)
+  if not t.is_complete then t.cwnd <- float_of_int t.cfg.mss
+
+let start t = send_window t
+
+let set_available t bytes =
+  if bytes < t.available then
+    invalid_arg "Tahoe_sender.set_available: cannot shrink";
+  t.available <- Stdlib.min bytes t.total;
+  if not t.is_complete then send_window t
+
+let restrict_available t bytes =
+  if bytes < 0 then invalid_arg "Tahoe_sender.restrict_available: negative";
+  t.available <- Stdlib.min bytes t.total

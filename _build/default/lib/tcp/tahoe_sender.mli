@@ -1,0 +1,106 @@
+(** TCP bulk-transfer sender (Tahoe by default, optionally Reno).
+
+    Implements the algorithms the paper runs at the fixed host
+    (§3.3): slow start, congestion avoidance, fast retransmit,
+    Jacobson RTO estimation with Karn's rule at a coarse clock
+    granularity, exponential timeout backoff, and go-back-N
+    retransmission from the last cumulative acknowledgement after a
+    timeout.  With [Tcp_config.flavor = Reno] a fast retransmit enters
+    fast recovery (RFC 2581 window inflation/deflation) instead of
+    collapsing to one segment — provided as an ablation against the
+    paper's Tahoe.
+
+    The EBSN extension (§4.2.3 and the paper's appendix) is the
+    {!handle_ebsn} entry point: on receipt, the pending retransmission
+    timer is replaced by a fresh one with an {e identical} timeout
+    value, leaving RTT estimates and backoff untouched.
+    {!handle_quench} implements the classic ICMP source-quench
+    response (collapse the congestion window, ssthresh unchanged) used
+    by the paper's §4.2.2 negative result. *)
+
+type t
+(** A sender for one bulk-transfer connection. *)
+
+val create :
+  Sim_engine.Simulator.t ->
+  config:Tcp_config.t ->
+  conn:int ->
+  src:Netsim.Address.t ->
+  dst:Netsim.Address.t ->
+  total_bytes:int ->
+  alloc_id:(unit -> int) ->
+  transmit:(Netsim.Packet.t -> unit) ->
+  t
+(** A sender that will move [total_bytes] of payload to [dst],
+    emitting packets through [transmit] and drawing packet identifiers
+    from [alloc_id].  Call {!start} to begin.
+    @raise Invalid_argument if [total_bytes <= 0] or the configuration
+    is invalid. *)
+
+val start : t -> unit
+(** Begin transmitting (slow start from one segment). *)
+
+val restrict_available : t -> int -> unit
+(** Limit the sender to the first [n] payload bytes, as if the
+    application had produced only that much so far.  Call before
+    {!start}; extend later with {!set_available}. *)
+
+val set_available : t -> int -> unit
+(** Extend the application-supplied data to [n] bytes (monotonic) and
+    transmit anything the window now allows.  Used by the
+    split-connection relay, whose wireless-side sender may only send
+    bytes already received from the fixed host. *)
+
+val handle_ack : ?sack:(int * int) list -> t -> ack:int -> unit
+(** Process a cumulative acknowledgement ([ack] = next byte the
+    receiver expects).  [sack] carries the receiver's
+    selective-acknowledgement blocks; only a [Sack]-flavoured sender
+    uses them. *)
+
+val handle_ebsn : t -> unit
+(** Process an Explicit Bad State Notification: re-arm the pending
+    retransmission timer with the same timeout value. *)
+
+val handle_quench : t -> unit
+(** Process an ICMP source quench: collapse the congestion window to
+    one segment. *)
+
+val completed : t -> bool
+(** [true] once every payload byte has been cumulatively
+    acknowledged. *)
+
+val set_on_complete : t -> (unit -> unit) -> unit
+(** Callback invoked once, when the transfer completes. *)
+
+val set_on_send : t -> (Netsim.Packet.t -> unit) -> unit
+(** Observation hook invoked for every data packet emitted (the
+    packet-trace feed for Figures 3–5). *)
+
+val set_on_timeout : t -> (unit -> unit) -> unit
+(** Observation hook invoked on every retransmission-timer expiry. *)
+
+val stats : t -> Tcp_stats.t
+(** Live counters. *)
+
+(** {2 Introspection (tests and traces)} *)
+
+val snd_una : t -> int
+(** Lowest unacknowledged byte. *)
+
+val snd_nxt : t -> int
+(** Next byte to send. *)
+
+val cwnd_bytes : t -> int
+(** Congestion window, floored to bytes. *)
+
+val ssthresh_bytes : t -> int
+(** Slow-start threshold. *)
+
+val rto : t -> Rto.t
+(** The timeout estimator. *)
+
+val timer_pending : t -> bool
+(** [true] iff the retransmission timer is armed. *)
+
+val in_fast_recovery : t -> bool
+(** [true] while a Reno sender is in fast recovery. *)

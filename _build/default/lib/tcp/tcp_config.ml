@@ -1,0 +1,64 @@
+open Sim_engine
+
+type flavor = Tahoe | Reno | Sack
+
+let flavor_name = function Tahoe -> "tahoe" | Reno -> "reno" | Sack -> "sack"
+
+type t = {
+  flavor : flavor;
+  mss : int;
+  header_bytes : int;
+  window : int;
+  tick : Simtime.span;
+  min_rto_ticks : int;
+  max_rto_ticks : int;
+  initial_rto_ticks : int;
+  dupack_threshold : int;
+  max_backoff : int;
+  delayed_ack : bool;
+  delayed_ack_timeout : Simtime.span;
+  ebsn_rearm_scale : float;
+}
+
+let default =
+  {
+    flavor = Tahoe;
+    mss = 536;
+    header_bytes = 40;
+    window = 4096;
+    tick = Simtime.span_ms 100;
+    min_rto_ticks = 2;
+    max_rto_ticks = 640;
+    initial_rto_ticks = 30;
+    dupack_threshold = 3;
+    max_backoff = 64;
+    delayed_ack = false;
+    delayed_ack_timeout = Simtime.span_ms 200;
+    ebsn_rearm_scale = 1.0;
+  }
+
+let with_packet_size cfg bytes =
+  if bytes <= cfg.header_bytes then
+    invalid_arg "Tcp_config.with_packet_size: no room for payload";
+  { cfg with mss = bytes - cfg.header_bytes }
+
+let packet_size cfg = cfg.mss + cfg.header_bytes
+
+let validate cfg =
+  if cfg.mss <= 0 then invalid_arg "Tcp_config: mss <= 0";
+  if cfg.header_bytes < 0 then invalid_arg "Tcp_config: negative header";
+  if cfg.window < cfg.mss then invalid_arg "Tcp_config: window below mss";
+  if Simtime.span_compare cfg.tick Simtime.span_zero <= 0 then
+    invalid_arg "Tcp_config: tick must be positive";
+  if cfg.min_rto_ticks < 1 then invalid_arg "Tcp_config: min_rto < 1 tick";
+  if cfg.max_rto_ticks < cfg.min_rto_ticks then
+    invalid_arg "Tcp_config: max_rto below min_rto";
+  if cfg.initial_rto_ticks < cfg.min_rto_ticks then
+    invalid_arg "Tcp_config: initial_rto below min_rto";
+  if cfg.dupack_threshold < 1 then
+    invalid_arg "Tcp_config: dupack threshold < 1";
+  if cfg.max_backoff < 1 then invalid_arg "Tcp_config: max_backoff < 1";
+  if Simtime.span_compare cfg.delayed_ack_timeout Simtime.span_zero <= 0 then
+    invalid_arg "Tcp_config: delayed-ack timeout must be positive";
+  if not (Float.is_finite cfg.ebsn_rearm_scale) || cfg.ebsn_rearm_scale <= 0.0
+  then invalid_arg "Tcp_config: ebsn_rearm_scale must be positive"

@@ -1,0 +1,57 @@
+(** TCP connection parameters.
+
+    Defaults follow the paper's §3.3: Tahoe, 4 KB window, 40-byte
+    header, 100 ms clock granularity, segment sizes swept from 128 to
+    1536 bytes. *)
+
+type flavor =
+  | Tahoe  (** loss → slow start from one segment (the paper's TCP) *)
+  | Reno  (** fast retransmit + fast recovery (halve, inflate, deflate) *)
+  | Sack
+      (** selective acknowledgements (RFC 2018): during recovery only
+          the holes the receiver reports missing are retransmitted *)
+
+val flavor_name : flavor -> string
+(** ["tahoe"], ["reno"] or ["sack"]. *)
+
+type t = {
+  flavor : flavor;  (** congestion-control variant *)
+  mss : int;  (** maximum segment size: payload bytes per packet *)
+  header_bytes : int;  (** TCP/IP header bytes per packet (40) *)
+  window : int;  (** receiver advertised window, in payload bytes *)
+  tick : Sim_engine.Simtime.span;  (** timer/clock granularity *)
+  min_rto_ticks : int;  (** lower bound on the retransmission timeout *)
+  max_rto_ticks : int;  (** upper bound on the retransmission timeout *)
+  initial_rto_ticks : int;  (** timeout before the first RTT sample *)
+  dupack_threshold : int;  (** duplicate acks triggering fast retransmit *)
+  max_backoff : int;  (** cap on the exponential backoff multiplier *)
+  delayed_ack : bool;
+      (** RFC 1122 receiver: acknowledge every second in-order segment
+          or after the delayed-ack timeout; out-of-order segments are
+          acknowledged immediately.  Off by default — the paper's NS-1
+          sink acks every packet. *)
+  delayed_ack_timeout : Sim_engine.Simtime.span;  (** typically 200 ms *)
+  ebsn_rearm_scale : float;
+      (** EBSN response: the new timer is the pending timeout value
+          scaled by this factor.  1.0 is the paper's choice ("the new
+          timeout value is identical to the previous one"); its
+          footnote warns that a very large value risks deadlock and a
+          very small one times out before the next EBSN arrives — the
+          [ablation-rearm] bench quantifies both. *)
+}
+
+val default : t
+(** The paper's wide-area parameters: Tahoe, [mss = 536] (576-byte packets),
+    4 KB window, 100 ms tick, RTO in [2, 640] ticks starting at 30,
+    dup-ack threshold 3, backoff cap 64. *)
+
+val with_packet_size : t -> int -> t
+(** [with_packet_size cfg bytes] sets [mss] so that the network-layer
+    packet (payload + header) is [bytes] — how the paper states packet
+    sizes.  @raise Invalid_argument if [bytes <= header_bytes]. *)
+
+val packet_size : t -> int
+(** [mss + header_bytes]. *)
+
+val validate : t -> unit
+(** @raise Invalid_argument if any field is out of range. *)

@@ -1,0 +1,47 @@
+(** TCP receiver (sink) for bulk transfer.
+
+    Acknowledges every arriving data segment with a cumulative ack, as
+    the NS-1 Tahoe sink does — out-of-order arrivals therefore produce
+    duplicate acks, which drive the sender's fast-retransmit.
+    Out-of-order payload is buffered (up to the advertised window) and
+    delivered in order. *)
+
+type t
+(** A sink for one connection. *)
+
+type stats = {
+  segments_received : int;  (** data segments accepted (any order) *)
+  duplicate_segments : int;  (** segments entirely below the ack point *)
+  acks_sent : int;
+  bytes_delivered : int;  (** in-order payload delivered to the user *)
+}
+
+val create :
+  Sim_engine.Simulator.t ->
+  config:Tcp_config.t ->
+  conn:int ->
+  addr:Netsim.Address.t ->
+  peer:Netsim.Address.t ->
+  expected_bytes:int ->
+  alloc_id:(unit -> int) ->
+  transmit:(Netsim.Packet.t -> unit) ->
+  t
+(** A sink at [addr] acknowledging to [peer], complete once
+    [expected_bytes] of payload have been delivered in order. *)
+
+val handle_data : t -> seq:int -> length:int -> unit
+(** Process an arriving data segment. *)
+
+val rcv_nxt : t -> int
+(** Next byte expected (the cumulative ack value). *)
+
+val completed : t -> bool
+(** [true] once every expected byte has been delivered in order. *)
+
+val completion_time : t -> Sim_engine.Simtime.t option
+(** When the last in-order byte arrived, once {!completed}. *)
+
+val set_on_complete : t -> (unit -> unit) -> unit
+(** Callback invoked once, at completion. *)
+
+val stats : t -> stats

@@ -1,0 +1,43 @@
+type t = {
+  mutable packets_sent : int;
+  mutable bytes_sent : int;
+  mutable wire_bytes_sent : int;
+  mutable packets_retransmitted : int;
+  mutable bytes_retransmitted : int;
+  mutable acks_received : int;
+  mutable dupacks_received : int;
+  mutable timeouts : int;
+  mutable fast_retransmits : int;
+  mutable rtt_samples : int;
+  mutable ebsns_received : int;
+  mutable quenches_received : int;
+}
+
+let create () =
+  {
+    packets_sent = 0;
+    bytes_sent = 0;
+    wire_bytes_sent = 0;
+    packets_retransmitted = 0;
+    bytes_retransmitted = 0;
+    acks_received = 0;
+    dupacks_received = 0;
+    timeouts = 0;
+    fast_retransmits = 0;
+    rtt_samples = 0;
+    ebsns_received = 0;
+    quenches_received = 0;
+  }
+
+let goodput t ~useful_bytes =
+  if t.bytes_sent = 0 then 1.0
+  else float_of_int useful_bytes /. float_of_int t.bytes_sent
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>packets sent: %d (%d retx)@,bytes sent: %d (%d retx)@,acks: %d (%d \
+     dup)@,timeouts: %d, fast retransmits: %d@,rtt samples: %d, ebsn: %d, \
+     quench: %d@]"
+    t.packets_sent t.packets_retransmitted t.bytes_sent t.bytes_retransmitted
+    t.acks_received t.dupacks_received t.timeouts t.fast_retransmits
+    t.rtt_samples t.ebsns_received t.quenches_received

@@ -1,0 +1,27 @@
+(** Per-connection counters (sender side). *)
+
+type t = {
+  mutable packets_sent : int;  (** data packets emitted, incl. retransmissions *)
+  mutable bytes_sent : int;  (** payload bytes emitted, incl. retransmissions *)
+  mutable wire_bytes_sent : int;  (** payload + header bytes emitted *)
+  mutable packets_retransmitted : int;
+  mutable bytes_retransmitted : int;  (** payload bytes re-sent — Fig. 9/11's
+      "data retransmitted" *)
+  mutable acks_received : int;
+  mutable dupacks_received : int;
+  mutable timeouts : int;  (** retransmission-timer expiries *)
+  mutable fast_retransmits : int;
+  mutable rtt_samples : int;
+  mutable ebsns_received : int;
+  mutable quenches_received : int;
+}
+
+val create : unit -> t
+(** All counters zero. *)
+
+val goodput : t -> useful_bytes:int -> float
+(** [useful_bytes / bytes_sent]: the paper's goodput metric (1.0 when
+    nothing was retransmitted).  Returns 1.0 when nothing was sent. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line summary. *)

@@ -1,0 +1,1 @@
+lib/topology/scenario.ml: Agents Error_model Feedback Format Link_arq List Netsim Printf Sim_engine Simtime Tcp_tahoe Units

@@ -1,0 +1,1 @@
+lib/topology/scenario.mli: Agents Error_model Feedback Link_arq Netsim Sim_engine Tcp_tahoe

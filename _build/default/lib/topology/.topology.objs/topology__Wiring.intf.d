@@ -1,0 +1,1 @@
+lib/topology/wiring.mli: Agents Link_arq Metrics Scenario Sim_engine Tcp_tahoe

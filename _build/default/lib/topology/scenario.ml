@@ -1,0 +1,195 @@
+open Sim_engine
+open Netsim
+
+type scheme = Basic | Local_recovery | Ebsn | Quench | Snoop | Split
+
+let scheme_name = function
+  | Basic -> "basic"
+  | Local_recovery -> "local-recovery"
+  | Ebsn -> "ebsn"
+  | Quench -> "quench"
+  | Snoop -> "snoop"
+  | Split -> "split"
+
+let all_schemes = [ Basic; Local_recovery; Ebsn; Quench; Snoop; Split ]
+
+type error_mode =
+  | Markov
+  | Deterministic
+  | Replay of (Error_model.Channel_state.t * Simtime.span) list
+
+type wireless = {
+  raw_bandwidth : Units.bandwidth;
+  delay : Simtime.span;
+  mtu : int option;
+  overhead_factor : float;
+  ber : Error_model.Loss.ber;
+  mean_good : Simtime.span;
+  mean_bad : Simtime.span;
+  error_mode : error_mode;
+}
+
+type wired = {
+  bandwidth : Units.bandwidth;
+  delay : Simtime.span;
+  queue_capacity : int;
+}
+
+type t = {
+  scheme : scheme;
+  wired : wired;
+  wireless : wireless;
+  arq : Link_arq.Arq.config;
+  uplink_arq : bool;
+  tcp : Tcp_tahoe.Tcp_config.t;
+  file_bytes : int;
+  seed : int;
+  frame_queue_capacity : int;
+  reassembly_timeout : Simtime.span;
+  resequence_timeout : Simtime.span;
+  snoop : Agents.Snoop.config;
+  ebsn_pacing : Feedback.Ebsn.pacing;
+  quench_trigger : Feedback.Source_quench.trigger;
+  quench_min_interval : Simtime.span;
+  cross_up : Netsim.Cross_traffic.pattern option;
+  cross_down : Netsim.Cross_traffic.pattern option;
+  collect_nstrace : bool;
+  horizon : Simtime.span;
+}
+
+let wan ?(scheme = Basic) ?(packet_size = 576) ?(mean_bad_sec = 4.0)
+    ?(mean_good_sec = 10.0) ?(error_mode = Markov) ?(file_bytes = 102_400)
+    ?(seed = 1) () =
+  {
+    scheme;
+    wired =
+      {
+        bandwidth = Units.kbps 56.0;
+        delay = Simtime.span_ms 50;
+        queue_capacity = 128;
+      };
+    wireless =
+      {
+        raw_bandwidth = Units.kbps 19.2;
+        delay = Simtime.span_ms 20;
+        mtu = Some 128;
+        overhead_factor = 1.5;
+        ber = Error_model.Loss.paper_ber;
+        mean_good = Simtime.span_sec mean_good_sec;
+        mean_bad = Simtime.span_sec mean_bad_sec;
+        error_mode;
+      };
+    arq =
+      Link_arq.Arq.
+        {
+          rt_max = 13;
+          window = 8;
+          ack_timeout_margin = Simtime.span_ms 100;
+          backoff =
+            Link_arq.Backoff.Binary_exponential
+              { base = Simtime.span_ms 100; cap = Simtime.span_sec 2.0 };
+          scheduler = Link_arq.Sched.Fifo;
+          queue_capacity = 512;
+          defer_on_backoff = false;
+        };
+    uplink_arq = false;
+    tcp =
+      Tcp_tahoe.Tcp_config.with_packet_size Tcp_tahoe.Tcp_config.default
+        packet_size;
+    file_bytes;
+    seed;
+    frame_queue_capacity = 512;
+    reassembly_timeout = Simtime.span_sec 60.0;
+    resequence_timeout = Simtime.span_sec 2.5;
+    snoop = Agents.Snoop.default_config;
+    ebsn_pacing = Feedback.Ebsn.Every_attempt;
+    quench_trigger = Feedback.Source_quench.On_attempt_failure;
+    quench_min_interval = Simtime.span_ms 200;
+    cross_up = None;
+    cross_down = None;
+    collect_nstrace = false;
+    horizon = Simtime.span_sec 3600.0;
+  }
+
+let lan ?(scheme = Basic) ?(packet_size = 1536) ?(mean_bad_sec = 1.0)
+    ?(mean_good_sec = 4.0) ?(error_mode = Markov) ?(file_bytes = 4_194_304)
+    ?(seed = 1) () =
+  {
+    scheme;
+    wired =
+      {
+        bandwidth = Units.mbps 10.0;
+        delay = Simtime.span_ms 1;
+        queue_capacity = 256;
+      };
+    wireless =
+      {
+        raw_bandwidth = Units.mbps 2.0;
+        delay = Simtime.span_ms 1;
+        mtu = None;
+        overhead_factor = 1.0;
+        ber = Error_model.Loss.paper_ber;
+        mean_good = Simtime.span_sec mean_good_sec;
+        mean_bad = Simtime.span_sec mean_bad_sec;
+        error_mode;
+      };
+    arq =
+      Link_arq.Arq.
+        {
+          (* CDPD's RTmax = 13 is a wide-area parameter; on the LAN the
+             round-trip (and so the TCP timeout EBSN re-arms) is small,
+             which forces short backoffs — more, shorter retries keep
+             the same multi-second persistence across a fade. *)
+          rt_max = 30;
+          window = 8;
+          ack_timeout_margin = Simtime.span_ms 5;
+          backoff =
+            Link_arq.Backoff.Binary_exponential
+              { base = Simtime.span_ms 20; cap = Simtime.span_ms 350 };
+          scheduler = Link_arq.Sched.Fifo;
+          queue_capacity = 512;
+          defer_on_backoff = false;
+        };
+    uplink_arq = false;
+    tcp =
+      {
+        (Tcp_tahoe.Tcp_config.with_packet_size Tcp_tahoe.Tcp_config.default
+           packet_size)
+        with
+        Tcp_tahoe.Tcp_config.window = 65_536;
+      };
+    file_bytes;
+    seed;
+    frame_queue_capacity = 512;
+    reassembly_timeout = Simtime.span_sec 10.0;
+    resequence_timeout = Simtime.span_sec 0.5;
+    snoop = Agents.Snoop.default_config;
+    ebsn_pacing = Feedback.Ebsn.Every_attempt;
+    quench_trigger = Feedback.Source_quench.On_attempt_failure;
+    quench_min_interval = Simtime.span_ms 200;
+    cross_up = None;
+    cross_down = None;
+    collect_nstrace = false;
+    horizon = Simtime.span_sec 1200.0;
+  }
+
+let effective_wireless_bps t =
+  float_of_int (Units.bandwidth_to_bps t.wireless.raw_bandwidth)
+  /. t.wireless.overhead_factor
+
+let with_scheme t scheme = { t with scheme }
+let with_seed t seed = { t with seed }
+
+let describe t =
+  Format.asprintf
+    "%s: pkt=%dB file=%dB good=%a bad=%a %s wired=%a wireless=%a(raw)"
+    (scheme_name t.scheme)
+    (Tcp_tahoe.Tcp_config.packet_size t.tcp)
+    t.file_bytes Simtime.pp_span t.wireless.mean_good Simtime.pp_span
+    t.wireless.mean_bad
+    (match t.wireless.error_mode with
+    | Markov -> "markov"
+    | Deterministic -> "deterministic"
+    | Replay periods -> Printf.sprintf "replay(%d)" (List.length periods))
+    Units.pp_bandwidth t.wired.bandwidth Units.pp_bandwidth
+    t.wireless.raw_bandwidth

@@ -1,0 +1,116 @@
+(** Experiment scenarios: the paper's Figure 2 setup, parameterised.
+
+    A scenario fully describes one simulation run: the FH—BS—MH
+    topology parameters, the wireless error model, the TCP
+    configuration, the recovery scheme under test, and the workload.
+    {!wan} and {!lan} build the paper's §3/§4.2.4 presets. *)
+
+type scheme =
+  | Basic  (** plain TCP-Tahoe end to end *)
+  | Local_recovery  (** + link-level ARQ at the base station *)
+  | Ebsn  (** + ARQ and Explicit Bad State Notifications *)
+  | Quench  (** + ARQ and ICMP source quench (§4.2.2 baseline) *)
+  | Snoop  (** snoop agent at the BS, no ARQ (related work [11]) *)
+  | Split  (** split connection at the BS, no ARQ (I-TCP [6,7]) *)
+
+val scheme_name : scheme -> string
+(** Short lowercase label, e.g. ["ebsn"]. *)
+
+val all_schemes : scheme list
+(** Every scheme, in the order above. *)
+
+type error_mode =
+  | Markov  (** Gilbert–Elliott with exponential holding times *)
+  | Deterministic  (** fixed alternating periods (Figures 3–5) *)
+  | Replay of (Error_model.Channel_state.t * Sim_engine.Simtime.span) list
+      (** replay a recorded state sequence cyclically (e.g. a field
+          measurement); losses are decided by the threshold rule, so
+          replays are exactly reproducible *)
+
+type wireless = {
+  raw_bandwidth : Netsim.Units.bandwidth;  (** air rate before overhead *)
+  delay : Sim_engine.Simtime.span;  (** propagation delay *)
+  mtu : int option;  (** wireless MTU; [None] = no fragmentation *)
+  overhead_factor : float;  (** air bytes per network byte *)
+  ber : Error_model.Loss.ber;
+  mean_good : Sim_engine.Simtime.span;
+  mean_bad : Sim_engine.Simtime.span;
+  error_mode : error_mode;
+}
+
+type wired = {
+  bandwidth : Netsim.Units.bandwidth;
+  delay : Sim_engine.Simtime.span;
+  queue_capacity : int;  (** packets *)
+}
+
+type t = {
+  scheme : scheme;
+  wired : wired;
+  wireless : wireless;
+  arq : Link_arq.Arq.config;  (** used by ARQ-bearing schemes *)
+  uplink_arq : bool;  (** run ARQ on the MH→BS direction too *)
+  tcp : Tcp_tahoe.Tcp_config.t;
+  file_bytes : int;
+  seed : int;
+  frame_queue_capacity : int;  (** wireless-link serialisation queue *)
+  reassembly_timeout : Sim_engine.Simtime.span;
+  resequence_timeout : Sim_engine.Simtime.span;
+      (** receiver hole timeout over the ARQ sequence space *)
+  snoop : Agents.Snoop.config;
+  ebsn_pacing : Feedback.Ebsn.pacing;
+  quench_trigger : Feedback.Source_quench.trigger;
+  quench_min_interval : Sim_engine.Simtime.span;
+  cross_up : Netsim.Cross_traffic.pattern option;
+      (** background load on the FH→BS wired link (§6 study [18]) *)
+  cross_down : Netsim.Cross_traffic.pattern option;
+      (** background load on the BS→FH wired link — competes with
+          acks, EBSNs and quenches *)
+  collect_nstrace : bool;
+      (** record an NS-style per-link event trace in the outcome *)
+  horizon : Sim_engine.Simtime.span;  (** safety stop for a run *)
+}
+
+val wan :
+  ?scheme:scheme ->
+  ?packet_size:int ->
+  ?mean_bad_sec:float ->
+  ?mean_good_sec:float ->
+  ?error_mode:error_mode ->
+  ?file_bytes:int ->
+  ?seed:int ->
+  unit ->
+  t
+(** The paper's wide-area setup: 56 kbps wired link, 19.2 kbps raw
+    (12.8 kbps effective) wireless link, 128-byte wireless MTU,
+    1.5× air overhead, BER 1e-6/1e-2, good 10 s, 4 KB window, 100 ms
+    tick, 100 KB file.  Defaults: [Basic], 576-byte packets, bad 4 s,
+    Markov errors, seed 1. *)
+
+val lan :
+  ?scheme:scheme ->
+  ?packet_size:int ->
+  ?mean_bad_sec:float ->
+  ?mean_good_sec:float ->
+  ?error_mode:error_mode ->
+  ?file_bytes:int ->
+  ?seed:int ->
+  unit ->
+  t
+(** The paper's local-area setup (§4.2.4): 10 Mbps wired, 2 Mbps
+    wireless, no fragmentation, no air overhead, 64 KB window,
+    1536-byte packets, good 4 s, 4 MB file.  Defaults: [Basic],
+    bad 1.0 s, Markov errors, seed 1. *)
+
+val effective_wireless_bps : t -> float
+(** Payload bits per second the wireless link can carry after the air
+    overhead: the paper's [tput_max] (12.8 kbps WAN, 2 Mbps LAN). *)
+
+val with_scheme : t -> scheme -> t
+(** The same scenario under a different recovery scheme. *)
+
+val with_seed : t -> int -> t
+(** The same scenario with a different random seed. *)
+
+val describe : t -> string
+(** One-line summary for reports. *)

@@ -1,0 +1,405 @@
+open Sim_engine
+open Netsim
+open Link_arq
+open Tcp_tahoe
+
+type outcome = {
+  scenario : Scenario.t;
+  completed : bool;
+  result : Bulk_app.result option;
+  trace : Metrics.Trace.t;
+  sender_stats : Tcp_stats.t;
+  sink_stats : Tcp_sink.stats;
+  arq_stats : Arq.stats option;
+  downlink_stats : Wireless_link.stats;
+  uplink_stats : Wireless_link.stats;
+  mh_reassembly : Reassembly.stats;
+  bs_reassembly : Reassembly.stats;
+  snoop_stats : Agents.Snoop.stats option;
+  ebsn_sent : int;
+  quench_sent : int;
+  nstrace : string option;
+  end_time : Simtime.t;
+}
+
+let fh_addr = Address.make 0
+let bs_addr = Address.make 1
+let mh_addr = Address.make 2
+
+let build_channel sim (w : Scenario.wireless) =
+  match w.Scenario.error_mode with
+  | Scenario.Deterministic ->
+    Error_model.Deterministic_channel.create ~good:w.Scenario.mean_good
+      ~bad:w.Scenario.mean_bad
+  | Scenario.Replay periods -> Error_model.Trace_channel.create periods
+  | Scenario.Markov ->
+    Error_model.Gilbert_elliott.create
+      ~rng:(Rng.split (Simulator.rng sim))
+      ~mean_good:w.Scenario.mean_good ~mean_bad:w.Scenario.mean_bad
+
+let run (scenario : Scenario.t) =
+  let open Scenario in
+  let sim = Simulator.create ~seed:scenario.seed () in
+  let packet_ids = Ids.create () in
+  let alloc_id () = Ids.next packet_ids in
+  let frame_ids = Ids.create () in
+  let trace = Metrics.Trace.create () in
+
+  (* Channel: one state process shared by both wireless directions, so
+     acks die in the same fades as data (paper §4.2.1). *)
+  let channel = build_channel sim scenario.wireless in
+  let decision =
+    match scenario.wireless.error_mode with
+    | Deterministic | Replay _ -> Error_model.Loss.Threshold
+    | Markov -> Error_model.Loss.Stochastic (Rng.split (Simulator.rng sim))
+  in
+  let wireless_config =
+    Wireless_link.
+      {
+        bandwidth = scenario.wireless.raw_bandwidth;
+        delay = scenario.wireless.delay;
+        overhead_factor = scenario.wireless.overhead_factor;
+        ber = scenario.wireless.ber;
+        decision;
+      }
+  in
+  let downlink =
+    Wireless_link.create sim ~name:"bs->mh" ~config:wireless_config
+      ~channel_for:(fun _ -> channel)
+      ~queue_capacity:scenario.frame_queue_capacity
+  in
+  let uplink =
+    Wireless_link.create sim ~name:"mh->bs" ~config:wireless_config
+      ~channel_for:(fun _ -> channel)
+      ~queue_capacity:scenario.frame_queue_capacity
+  in
+
+  (* Nodes and wired links. *)
+  let fh = Node.create sim ~name:"fh" ~addr:fh_addr in
+  let bs = Node.create sim ~name:"bs" ~addr:bs_addr in
+  let mh = Node.create sim ~name:"mh" ~addr:mh_addr in
+  let wired_up =
+    Link.create sim ~name:"fh->bs" ~bandwidth:scenario.wired.bandwidth
+      ~delay:scenario.wired.delay ~queue_capacity:scenario.wired.queue_capacity
+  in
+  let wired_down =
+    Link.create sim ~name:"bs->fh" ~bandwidth:scenario.wired.bandwidth
+      ~delay:scenario.wired.delay ~queue_capacity:scenario.wired.queue_capacity
+  in
+  Link.set_receiver wired_up (Node.receive bs);
+  Link.set_receiver wired_down (Node.receive fh);
+
+  (* Optional NS-style per-link event trace. *)
+  let nstrace =
+    if scenario.collect_nstrace then begin
+      let trace = Metrics.Nstrace.create sim in
+      Link.set_monitor wired_up
+        (Metrics.Nstrace.wired_monitor trace ~link:"fh->bs");
+      Link.set_monitor wired_down
+        (Metrics.Nstrace.wired_monitor trace ~link:"bs->fh");
+      Wireless_link.set_monitor downlink
+        (Metrics.Nstrace.wireless_monitor trace ~link:"bs->mh");
+      Wireless_link.set_monitor uplink
+        (Metrics.Nstrace.wireless_monitor trace ~link:"mh->bs");
+      Some trace
+    end
+    else None
+  in
+
+  (* Recovery machinery. *)
+  let use_arq =
+    match scenario.scheme with
+    | Local_recovery | Ebsn | Quench -> true
+    | Basic | Snoop | Split -> false
+  in
+  let downlink_arq =
+    if use_arq then
+      Some
+        (Arq.create sim
+           ~rng:(Rng.split (Simulator.rng sim))
+           ~config:scenario.arq ~link:downlink)
+    else None
+  in
+  let uplink_arq =
+    if use_arq && scenario.uplink_arq then
+      Some
+        (Arq.create sim
+           ~rng:(Rng.split (Simulator.rng sim))
+           ~config:scenario.arq ~link:uplink)
+    else None
+  in
+
+  let fragment (w : Scenario.wireless) pkt =
+    match w.mtu with
+    | Some mtu -> Fragmenter.split ~mtu pkt
+    | None -> [ Frame.Whole pkt ]
+  in
+  let send_frames link arq pkt =
+    let payloads = fragment scenario.wireless pkt in
+    match arq with
+    | Some arq ->
+      List.iter
+        (fun payload ->
+          ignore (Arq.send arq ~conn:(Packet.conn pkt) payload))
+        payloads
+    | None ->
+      List.iter
+        (fun payload ->
+          Wireless_link.send link
+            Frame.{ seq = Ids.next frame_ids; payload })
+        payloads
+  in
+  let downlink_send pkt = send_frames downlink downlink_arq pkt in
+  let uplink_send pkt = send_frames uplink uplink_arq pkt in
+
+  (* Reassembly at both wireless endpoints. *)
+  let mh_reasm =
+    Reassembly.create sim ~timeout:scenario.reassembly_timeout
+      ~deliver:(Node.receive mh)
+  in
+  let bs_reasm =
+    Reassembly.create sim ~timeout:scenario.reassembly_timeout
+      ~deliver:(Node.receive bs)
+  in
+  let deliver_at_mh = function
+    | (Frame.Whole pkt | Frame.Fragment { packet = pkt; _ }) as payload ->
+      ignore pkt;
+      Reassembly.receive mh_reasm payload
+    | Frame.Link_ack _ -> ()
+  in
+  let deliver_at_bs = function
+    | (Frame.Whole _ | Frame.Fragment _) as payload ->
+      Reassembly.receive bs_reasm payload
+    | Frame.Link_ack _ -> ()
+  in
+  let send_link_ack link ~acked_seq =
+    Wireless_link.send link
+      Frame.{ seq = Ids.next frame_ids; payload = Link_ack { acked_seq } }
+  in
+  let resequence =
+    Some
+      Arq_receiver.{ hole_timeout = scenario.resequence_timeout }
+  in
+  let mh_receiver =
+    Arq_receiver.create sim
+      ?send_ack:
+        (match downlink_arq with
+        | Some _ -> Some (fun ~acked_seq -> send_link_ack uplink ~acked_seq)
+        | None -> None)
+      ?on_link_ack:
+        (Option.map
+           (fun arq ~acked_seq -> Arq.handle_link_ack arq ~acked_seq)
+           uplink_arq)
+      ?resequence:
+        (match downlink_arq with Some _ -> resequence | None -> None)
+      ~deliver:deliver_at_mh ()
+  in
+  let bs_receiver =
+    Arq_receiver.create sim
+      ?send_ack:
+        (match uplink_arq with
+        | Some _ -> Some (fun ~acked_seq -> send_link_ack downlink ~acked_seq)
+        | None -> None)
+      ?on_link_ack:
+        (Option.map
+           (fun arq ~acked_seq -> Arq.handle_link_ack arq ~acked_seq)
+           downlink_arq)
+      ?resequence:
+        (match uplink_arq with Some _ -> resequence | None -> None)
+      ~deliver:deliver_at_bs ()
+  in
+  Wireless_link.set_receiver downlink (Arq_receiver.receive mh_receiver);
+  Wireless_link.set_receiver uplink (Arq_receiver.receive bs_receiver);
+
+  (* Routing. *)
+  Node.add_route fh ~dst:mh_addr ~via:(Link.send wired_up);
+  Node.add_route fh ~dst:bs_addr ~via:(Link.send wired_up);
+  Node.add_route bs ~dst:fh_addr ~via:(Link.send wired_down);
+  Node.add_route bs ~dst:mh_addr ~via:downlink_send;
+  Node.add_route mh ~dst:fh_addr ~via:uplink_send;
+  Node.add_route mh ~dst:bs_addr ~via:uplink_send;
+
+  (* Transport endpoints. *)
+  let conn = 0 in
+  let sender =
+    Tahoe_sender.create sim ~config:scenario.tcp ~conn ~src:fh_addr
+      ~dst:mh_addr ~total_bytes:scenario.file_bytes ~alloc_id
+      ~transmit:(Node.send fh)
+  in
+  let sink_peer =
+    match scenario.scheme with Split -> bs_addr | _ -> fh_addr
+  in
+  let sink =
+    Tcp_sink.create sim ~config:scenario.tcp ~conn ~addr:mh_addr
+      ~peer:sink_peer ~expected_bytes:scenario.file_bytes ~alloc_id
+      ~transmit:(Node.send mh)
+  in
+
+  (* Agents. *)
+  let snoop =
+    match scenario.scheme with
+    | Snoop ->
+      Some
+        (Agents.Snoop.create sim ~config:scenario.snoop ~mobile:mh_addr
+           ~send_downlink:downlink_send)
+    | Basic | Local_recovery | Ebsn | Quench | Split -> None
+  in
+  let split =
+    match scenario.scheme with
+    | Split ->
+      Some
+        (Agents.Split_conn.create sim ~wired_config:scenario.tcp
+           ~wireless_config:scenario.tcp ~conn ~fixed:fh_addr ~bs:bs_addr
+           ~mobile:mh_addr ~file_bytes:scenario.file_bytes ~alloc_id
+           ~send_wired:(Link.send wired_down) ~send_downlink:downlink_send)
+    | Basic | Local_recovery | Ebsn | Quench | Snoop -> None
+  in
+  (match snoop with
+  | Some agent -> Node.set_forward_hook bs (Agents.Snoop.on_forward agent)
+  | None -> ());
+  (match split with
+  | Some relay -> Node.set_forward_hook bs (Agents.Split_conn.on_forward relay)
+  | None -> ());
+
+  (* Feedback from the base station. *)
+  let ebsn_sent = ref 0 and quench_sent = ref 0 in
+  (match downlink_arq with
+  | None -> ()
+  | Some arq ->
+    let ebsn_gate = Feedback.Ebsn.gate scenario.ebsn_pacing in
+    let quench_gate =
+      Feedback.Source_quench.gate scenario.quench_trigger
+        ~min_interval:scenario.quench_min_interval
+    in
+    Arq.set_on_attempt_failure arq (fun frame ~attempt:_ ->
+        match Frame.packet frame with
+        | Some pkt when Packet.is_data pkt -> (
+          let conn = Packet.conn pkt in
+          let now = Simulator.now sim in
+          match scenario.scheme with
+          | Ebsn ->
+            if Feedback.Ebsn.admit ebsn_gate ~conn ~now then begin
+              Slog.debug sim "bs sends ebsn (attempt failed for %a)"
+                Packet.pp pkt;
+              incr ebsn_sent;
+              Node.send bs
+                (Feedback.Ebsn.make ~alloc_id ~src:bs_addr
+                   ~dst:pkt.Packet.src ~conn ~now)
+            end
+          | Quench ->
+            if Feedback.Source_quench.admit_failure quench_gate ~conn ~now
+            then begin
+              incr quench_sent;
+              Node.send bs
+                (Feedback.Source_quench.make ~alloc_id ~src:bs_addr
+                   ~dst:pkt.Packet.src ~conn ~now)
+            end
+          | Basic | Local_recovery | Snoop | Split -> ())
+        | Some _ | None -> ()));
+
+  (* Local protocol handlers. *)
+  Node.set_local_handler fh (fun pkt ->
+      match pkt.Packet.kind with
+      | Packet.Tcp_ack { ack; sack; _ } ->
+        Tahoe_sender.handle_ack ~sack sender ~ack
+      | Packet.Ebsn _ ->
+        Metrics.Trace.record trace (Simulator.now sim) Metrics.Trace.Ebsn_received;
+        Tahoe_sender.handle_ebsn sender
+      | Packet.Source_quench _ ->
+        Metrics.Trace.record trace (Simulator.now sim)
+          Metrics.Trace.Quench_received;
+        Tahoe_sender.handle_quench sender
+      | Packet.Tcp_data _ -> ());
+  Node.set_local_handler mh (fun pkt ->
+      match pkt.Packet.kind with
+      | Packet.Tcp_data { seq; length; _ } ->
+        Tcp_sink.handle_data sink ~seq ~length
+      | Packet.Tcp_ack _ | Packet.Ebsn _ | Packet.Source_quench _ -> ());
+  Node.set_local_handler bs (fun pkt ->
+      match pkt.Packet.kind, split with
+      | Packet.Tcp_ack { ack; sack; _ }, Some relay ->
+        Agents.Split_conn.handle_wireless_ack relay ~sack ~ack
+      | _, _ -> ());
+
+  (* Tracing hooks. *)
+  Tahoe_sender.set_on_send sender (fun pkt ->
+      Slog.debug sim "src sends %a (cwnd=%dB una=%d)" Packet.pp pkt
+        (Tahoe_sender.cwnd_bytes sender)
+        (Tahoe_sender.snd_una sender);
+      match pkt.Packet.kind with
+      | Packet.Tcp_data { seq; is_retransmit; _ } ->
+        Metrics.Trace.record trace (Simulator.now sim)
+          (Metrics.Trace.Send
+             {
+               packet_number = seq / scenario.tcp.Tcp_config.mss;
+               seq;
+               retransmit = is_retransmit;
+             })
+      | Packet.Tcp_ack _ | Packet.Ebsn _ | Packet.Source_quench _ -> ());
+  Tahoe_sender.set_on_timeout sender (fun () ->
+      Slog.info sim "source retransmission timeout (una=%d)"
+        (Tahoe_sender.snd_una sender);
+      Metrics.Trace.record trace (Simulator.now sim) Metrics.Trace.Timeout);
+
+  (* Background wired-network load (the §6 congestion study). *)
+  let start_cross pattern ~src ~dst ~conn ~link =
+    Option.map
+      (fun pattern ->
+        Cross_traffic.start sim
+          ~rng:(Rng.split (Simulator.rng sim))
+          ~pattern ~src ~dst ~conn ~alloc_id ~send:(Link.send link))
+      pattern
+  in
+  let _cross_up =
+    start_cross scenario.cross_up ~src:fh_addr ~dst:bs_addr ~conn:9001
+      ~link:wired_up
+  in
+  let _cross_down =
+    start_cross scenario.cross_down ~src:bs_addr ~dst:fh_addr ~conn:9002
+      ~link:wired_down
+  in
+
+  (* Run. *)
+  Tcp_sink.set_on_complete sink (fun () -> Simulator.stop sim);
+  let start_time = Simulator.now sim in
+  Tahoe_sender.start sender;
+  Simulator.run ~until:(Simtime.add start_time scenario.horizon) sim;
+  let completed = Tcp_sink.completed sink in
+  let result =
+    if completed then
+      Some
+        (Bulk_app.result ~config:scenario.tcp ~sender ~sink
+           ~file_bytes:scenario.file_bytes ~start_time)
+    else None
+  in
+  {
+    scenario;
+    completed;
+    result;
+    trace;
+    sender_stats = Tahoe_sender.stats sender;
+    sink_stats = Tcp_sink.stats sink;
+    arq_stats = Option.map Arq.stats downlink_arq;
+    downlink_stats = Wireless_link.stats downlink;
+    uplink_stats = Wireless_link.stats uplink;
+    mh_reassembly = Reassembly.stats mh_reasm;
+    bs_reassembly = Reassembly.stats bs_reasm;
+    snoop_stats = Option.map Agents.Snoop.stats snoop;
+    ebsn_sent = !ebsn_sent;
+    quench_sent = !quench_sent;
+    nstrace = Option.map Metrics.Nstrace.to_string nstrace;
+    end_time = Simulator.now sim;
+  }
+
+let throughput_bps outcome =
+  match outcome.result with
+  | Some r -> r.Bulk_app.throughput_bps
+  | None -> 0.0
+
+let goodput outcome =
+  match outcome.result with Some r -> r.Bulk_app.goodput | None -> 0.0
+
+let retransmitted_kbytes outcome =
+  float_of_int outcome.sender_stats.Tcp_stats.bytes_retransmitted /. 1024.0
+
+let source_timeouts outcome = outcome.sender_stats.Tcp_stats.timeouts

@@ -1,0 +1,46 @@
+(** Assembles and runs one scenario.
+
+    Builds the FH—BS—MH network of the paper's Figure 2 — nodes,
+    wired links, the two wireless link directions sharing one channel
+    state process, fragmentation/reassembly, the scheme's recovery
+    machinery — runs the bulk transfer to completion (or the safety
+    horizon) and collects every statistic the experiments need. *)
+
+type outcome = {
+  scenario : Scenario.t;
+  completed : bool;  (** [false] if the safety horizon was hit *)
+  result : Tcp_tahoe.Bulk_app.result option;  (** present iff completed *)
+  trace : Metrics.Trace.t;  (** source-side packet/timeout/EBSN events *)
+  sender_stats : Tcp_tahoe.Tcp_stats.t;
+  sink_stats : Tcp_tahoe.Tcp_sink.stats;
+  arq_stats : Link_arq.Arq.stats option;  (** present iff the scheme runs ARQ *)
+  downlink_stats : Link_arq.Wireless_link.stats;
+  uplink_stats : Link_arq.Wireless_link.stats;
+  mh_reassembly : Link_arq.Reassembly.stats;
+  bs_reassembly : Link_arq.Reassembly.stats;
+  snoop_stats : Agents.Snoop.stats option;  (** present iff scheme = Snoop *)
+  ebsn_sent : int;  (** notifications emitted by the base station *)
+  quench_sent : int;
+  nstrace : string option;
+      (** NS-style per-link event trace, iff the scenario asked for
+          one *)
+  end_time : Sim_engine.Simtime.t;
+}
+
+val run : Scenario.t -> outcome
+(** Execute the scenario.  Deterministic: equal scenarios (including
+    seed) produce equal outcomes. *)
+
+val throughput_bps : outcome -> float
+(** The paper's throughput metric (0 when the run did not
+    complete). *)
+
+val goodput : outcome -> float
+(** The paper's goodput metric (0 when the run did not complete). *)
+
+val retransmitted_kbytes : outcome -> float
+(** Payload kilobytes re-sent by the TCP source (Figures 9 and
+    11). *)
+
+val source_timeouts : outcome -> int
+(** Retransmission-timer expiries at the source. *)

@@ -1,0 +1,1 @@
+test/test_agents.ml: Address Alcotest Core Ids List Packet Simtime Simulator Snoop Split_conn Tcp_config

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Core Event_queue Float Int List Printf QCheck2 QCheck_alcotest Rng Simtime Simulator

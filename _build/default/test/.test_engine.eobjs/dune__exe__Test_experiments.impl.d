@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Core Csdp Fig_traces Lan_sweep List Packet_size_advisor Printf Report Run Scenario Sched String Summary Sweep Theory Wan_sweep

@@ -1,0 +1,1 @@
+test/test_feedback.ml: Address Alcotest Core Ebsn Ids Packet Simtime Simulator Source_quench Tahoe_sender Tcp_config Tcp_stats

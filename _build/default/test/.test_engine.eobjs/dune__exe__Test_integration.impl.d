@@ -1,0 +1,1 @@
+test/test_integration.ml: Address Alcotest Arq Channel_state Core Format List Packet Printf Scenario Simtime String Summary Tcp_config Tcp_sink Tcp_stats Theory Trace Units Wireless_link Wiring

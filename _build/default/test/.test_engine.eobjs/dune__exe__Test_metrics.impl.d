@@ -1,0 +1,1 @@
+test/test_metrics.ml: Address Alcotest Core Link List Nstrace Packet QCheck2 QCheck_alcotest Scenario Simtime Simulator String Summary Timeseq Trace Units Wiring

@@ -1,0 +1,1 @@
+test/test_net.ml: Address Alcotest Core Ids Link List Node Option Packet QCheck2 QCheck_alcotest Queue_drop_tail Simtime Simulator Topology_graph Units

@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Core Csdp Handoff List Printf Scenario Sched Tcp_config Tcp_sink Wiring

@@ -1,0 +1,1 @@
+test/test_tcp.ml: Address Alcotest Bulk_app Core Float Fun Ids List Packet QCheck2 QCheck_alcotest Rto Simtime Simulator Tahoe_sender Tcp_config Tcp_sink Tcp_stats

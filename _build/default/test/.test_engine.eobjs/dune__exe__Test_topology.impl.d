@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Arq Channel_state Core List Printf Scenario Simtime Snoop String Summary Tcp_config Tcp_sink Tcp_stats Trace Units Wireless_link Wiring

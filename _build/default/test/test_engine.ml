@@ -1,0 +1,385 @@
+(* Tests for the simulation engine: Simtime, Rng, Event_queue,
+   Simulator. *)
+
+open Core
+
+let span_sec = Simtime.span_sec
+
+(* ------------------------------------------------------------------ *)
+(* Simtime                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_simtime_construction () =
+  Alcotest.(check int) "zero is 0 ns" 0 (Simtime.to_ns Simtime.zero);
+  Alcotest.(check int) "of_ns round-trips" 42 (Simtime.to_ns (Simtime.of_ns 42));
+  Alcotest.check_raises "negative instant rejected"
+    (Invalid_argument "Simtime.of_ns: negative") (fun () ->
+      ignore (Simtime.of_ns (-1)))
+
+let test_simtime_spans () =
+  Alcotest.(check int) "span_ms" 5_000_000 (Simtime.span_to_ns (Simtime.span_ms 5));
+  Alcotest.(check int) "span_us" 7_000 (Simtime.span_to_ns (Simtime.span_us 7));
+  Alcotest.(check int) "span_sec rounds" 1_500_000_000
+    (Simtime.span_to_ns (span_sec 1.5));
+  Alcotest.check_raises "negative span rejected"
+    (Invalid_argument "Simtime.span_ns: negative") (fun () ->
+      ignore (Simtime.span_ns (-5)));
+  Alcotest.check_raises "non-finite span rejected"
+    (Invalid_argument "Simtime.span_sec: negative or not finite") (fun () ->
+      ignore (span_sec Float.nan))
+
+let test_simtime_arithmetic () =
+  let t = Simtime.add (Simtime.of_ns 100) (Simtime.span_ns 50) in
+  Alcotest.(check int) "add" 150 (Simtime.to_ns t);
+  let d = Simtime.diff (Simtime.of_ns 150) (Simtime.of_ns 100) in
+  Alcotest.(check int) "diff" 50 (Simtime.span_to_ns d);
+  Alcotest.check_raises "diff underflow rejected"
+    (Invalid_argument "Simtime.diff: negative result") (fun () ->
+      ignore (Simtime.diff (Simtime.of_ns 1) (Simtime.of_ns 2)));
+  Alcotest.(check int) "span_add" 30
+    (Simtime.span_to_ns (Simtime.span_add (Simtime.span_ns 10) (Simtime.span_ns 20)));
+  Alcotest.(check int) "span_sub" 10
+    (Simtime.span_to_ns (Simtime.span_sub (Simtime.span_ns 30) (Simtime.span_ns 20)));
+  Alcotest.(check int) "span_scale" 15
+    (Simtime.span_to_ns (Simtime.span_scale (Simtime.span_ns 10) 1.5))
+
+let test_simtime_ordering () =
+  let a = Simtime.of_ns 1 and b = Simtime.of_ns 2 in
+  Alcotest.(check bool) "lt" true Simtime.(a < b);
+  Alcotest.(check bool) "le refl" true Simtime.(a <= a);
+  Alcotest.(check bool) "gt" true Simtime.(b > a);
+  Alcotest.(check int) "min" 1 (Simtime.to_ns (Simtime.min a b));
+  Alcotest.(check int) "max" 2 (Simtime.to_ns (Simtime.max a b));
+  Alcotest.(check bool) "span_min" true
+    (Simtime.span_compare
+       (Simtime.span_min (Simtime.span_ns 3) (Simtime.span_ns 4))
+       (Simtime.span_ns 3)
+    = 0)
+
+let test_simtime_to_sec () =
+  Alcotest.(check (float 1e-12)) "to_sec" 1.5
+    (Simtime.to_sec (Simtime.of_ns 1_500_000_000));
+  Alcotest.(check (float 1e-12)) "span_to_sec" 0.25
+    (Simtime.span_to_sec (Simtime.span_ms 250))
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_determinism () =
+  let a = Rng.create ~seed:99 and b = Rng.create ~seed:99 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same seed, same stream" (Rng.bits64 a)
+      (Rng.bits64 b)
+  done;
+  let c = Rng.create ~seed:100 in
+  Alcotest.(check bool) "different seed, different stream" true
+    (Rng.bits64 (Rng.create ~seed:99) <> Rng.bits64 c)
+
+let test_rng_copy_replays () =
+  let a = Rng.create ~seed:5 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy replays" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:5 in
+  let b = Rng.split a in
+  (* The split stream must not equal the parent's continuation. *)
+  Alcotest.(check bool) "split differs from parent" true
+    (Rng.bits64 a <> Rng.bits64 b)
+
+let test_rng_bounds () =
+  let rng = Rng.create ~seed:1 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 7 in
+    Alcotest.(check bool) "int in [0,7)" true (v >= 0 && v < 7)
+  done;
+  for _ = 1 to 10_000 do
+    let v = Rng.uniform rng in
+    Alcotest.(check bool) "uniform in [0,1)" true (v >= 0.0 && v < 1.0)
+  done;
+  Alcotest.check_raises "int bound must be positive"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int rng 0))
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create ~seed:2 in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    let v = Rng.exponential rng ~mean:4.0 in
+    Alcotest.(check bool) "exponential non-negative" true (v >= 0.0);
+    sum := !sum +. v
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "exponential mean within 5%" true
+    (Float.abs (mean -. 4.0) < 0.2)
+
+let test_rng_poisson_mean () =
+  let rng = Rng.create ~seed:3 in
+  let n = 20_000 in
+  let check lambda tolerance =
+    let sum = ref 0 in
+    for _ = 1 to n do
+      sum := !sum + Rng.poisson rng ~mean:lambda
+    done;
+    let mean = float_of_int !sum /. float_of_int n in
+    Alcotest.(check bool)
+      (Printf.sprintf "poisson mean %.0f" lambda)
+      true
+      (Float.abs (mean -. lambda) < tolerance)
+  in
+  check 3.0 0.1;
+  check 600.0 2.0;
+  Alcotest.(check int) "poisson of 0" 0 (Rng.poisson rng ~mean:0.0)
+
+let test_rng_geometric () =
+  let rng = Rng.create ~seed:4 in
+  Alcotest.(check int) "geometric p=1 is 0" 0 (Rng.geometric rng ~p:1.0);
+  let n = 20_000 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    sum := !sum + Rng.geometric rng ~p:0.25
+  done;
+  (* mean of failures before success = (1-p)/p = 3 *)
+  let mean = float_of_int !sum /. float_of_int n in
+  Alcotest.(check bool) "geometric mean ~3" true (Float.abs (mean -. 3.0) < 0.15)
+
+(* ------------------------------------------------------------------ *)
+(* Event_queue                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_queue_time_order () =
+  let q = Event_queue.create () in
+  List.iter
+    (fun n -> ignore (Event_queue.add q ~time:(Simtime.of_ns n) n))
+    [ 30; 10; 20; 5; 25 ];
+  let popped = ref [] in
+  let rec drain () =
+    match Event_queue.pop q with
+    | Some (_, v) ->
+      popped := v :: !popped;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "sorted" [ 5; 10; 20; 25; 30 ] (List.rev !popped)
+
+let test_queue_fifo_ties () =
+  let q = Event_queue.create () in
+  List.iter
+    (fun v -> ignore (Event_queue.add q ~time:(Simtime.of_ns 7) v))
+    [ 1; 2; 3; 4 ];
+  let order = List.init 4 (fun _ ->
+      match Event_queue.pop q with Some (_, v) -> v | None -> -1)
+  in
+  Alcotest.(check (list int)) "insertion order preserved on ties" [ 1; 2; 3; 4 ]
+    order
+
+let test_queue_cancel () =
+  let q = Event_queue.create () in
+  let h1 = Event_queue.add q ~time:(Simtime.of_ns 1) "a" in
+  let _h2 = Event_queue.add q ~time:(Simtime.of_ns 2) "b" in
+  Alcotest.(check int) "two live" 2 (Event_queue.length q);
+  Event_queue.cancel q h1;
+  Alcotest.(check int) "one live after cancel" 1 (Event_queue.length q);
+  Alcotest.(check bool) "cancelled not live" false (Event_queue.is_live q h1);
+  (match Event_queue.pop q with
+  | Some (_, v) -> Alcotest.(check string) "cancelled skipped" "b" v
+  | None -> Alcotest.fail "expected event");
+  Event_queue.cancel q h1;
+  Alcotest.(check int) "double cancel harmless" 0 (Event_queue.length q)
+
+let test_queue_peek () =
+  let q = Event_queue.create () in
+  Alcotest.(check bool) "peek empty" true (Event_queue.peek_time q = None);
+  let h = Event_queue.add q ~time:(Simtime.of_ns 5) () in
+  ignore (Event_queue.add q ~time:(Simtime.of_ns 9) ());
+  (match Event_queue.peek_time q with
+  | Some t -> Alcotest.(check int) "peek earliest" 5 (Simtime.to_ns t)
+  | None -> Alcotest.fail "expected peek");
+  Event_queue.cancel q h;
+  match Event_queue.peek_time q with
+  | Some t ->
+    Alcotest.(check int) "peek skips cancelled" 9 (Simtime.to_ns t)
+  | None -> Alcotest.fail "expected peek"
+
+let test_queue_interleaved_growth () =
+  let q = Event_queue.create () in
+  (* Force several internal growths with interleaved pops. *)
+  for round = 0 to 9 do
+    for i = 0 to 99 do
+      ignore (Event_queue.add q ~time:(Simtime.of_ns ((round * 100) + i)) i)
+    done;
+    for _ = 0 to 49 do
+      ignore (Event_queue.pop q)
+    done
+  done;
+  Alcotest.(check int) "live count" 500 (Event_queue.length q)
+
+let prop_queue_matches_sort =
+  QCheck2.Test.make ~name:"event queue pops in stable sorted order" ~count:200
+    QCheck2.Gen.(list_size (int_range 0 200) (int_range 0 50))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iteri
+        (fun i n -> ignore (Event_queue.add q ~time:(Simtime.of_ns n) (n, i)))
+        times;
+      let rec drain acc =
+        match Event_queue.pop q with
+        | Some (_, v) -> drain (v :: acc)
+        | None -> List.rev acc
+      in
+      let popped = drain [] in
+      let expected =
+        List.stable_sort
+          (fun (a, i) (b, j) ->
+            match Int.compare a b with 0 -> Int.compare i j | c -> c)
+          (List.mapi (fun i n -> (n, i)) times)
+      in
+      popped = expected)
+
+(* ------------------------------------------------------------------ *)
+(* Simulator                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_sim_runs_in_order () =
+  let sim = Simulator.create () in
+  let log = ref [] in
+  ignore
+    (Simulator.schedule sim ~at:(Simtime.of_ns 20) (fun () ->
+         log := "b" :: !log));
+  ignore
+    (Simulator.schedule sim ~at:(Simtime.of_ns 10) (fun () ->
+         log := "a" :: !log));
+  Simulator.run sim;
+  Alcotest.(check (list string)) "order" [ "a"; "b" ] (List.rev !log)
+
+let test_sim_clock_advances () =
+  let sim = Simulator.create () in
+  let seen = ref Simtime.zero in
+  ignore
+    (Simulator.schedule sim ~at:(Simtime.of_ns 500) (fun () ->
+         seen := Simulator.now sim));
+  Simulator.run sim;
+  Alcotest.(check int) "clock at event time" 500 (Simtime.to_ns !seen)
+
+let test_sim_schedule_after () =
+  let sim = Simulator.create () in
+  let fired = ref false in
+  ignore
+    (Simulator.schedule sim ~at:(Simtime.of_ns 100) (fun () ->
+         ignore
+           (Simulator.schedule_after sim ~delay:(Simtime.span_ns 50) (fun () ->
+                Alcotest.(check int) "relative delay" 150
+                  (Simtime.to_ns (Simulator.now sim));
+                fired := true))));
+  Simulator.run sim;
+  Alcotest.(check bool) "fired" true !fired
+
+let test_sim_past_rejected () =
+  let sim = Simulator.create () in
+  ignore
+    (Simulator.schedule sim ~at:(Simtime.of_ns 100) (fun () ->
+         Alcotest.check_raises "scheduling in the past"
+           (Invalid_argument "Simulator.schedule: time is in the past")
+           (fun () ->
+             ignore (Simulator.schedule sim ~at:(Simtime.of_ns 50) ignore))));
+  Simulator.run sim
+
+let test_sim_cancel () =
+  let sim = Simulator.create () in
+  let fired = ref false in
+  let ev =
+    Simulator.schedule sim ~at:(Simtime.of_ns 10) (fun () -> fired := true)
+  in
+  Alcotest.(check bool) "pending" true (Simulator.is_pending sim ev);
+  Simulator.cancel sim ev;
+  Alcotest.(check bool) "not pending" false (Simulator.is_pending sim ev);
+  Simulator.run sim;
+  Alcotest.(check bool) "cancelled never fires" false !fired
+
+let test_sim_until_horizon () =
+  let sim = Simulator.create () in
+  let fired = ref 0 in
+  ignore (Simulator.schedule sim ~at:(Simtime.of_ns 10) (fun () -> incr fired));
+  ignore (Simulator.schedule sim ~at:(Simtime.of_ns 90) (fun () -> incr fired));
+  Simulator.run ~until:(Simtime.of_ns 50) sim;
+  Alcotest.(check int) "only events before horizon" 1 !fired;
+  Alcotest.(check int) "one pending" 1 (Simulator.pending_events sim);
+  Simulator.run sim;
+  Alcotest.(check int) "rest run later" 2 !fired
+
+let test_sim_stop () =
+  let sim = Simulator.create () in
+  let fired = ref 0 in
+  ignore
+    (Simulator.schedule sim ~at:(Simtime.of_ns 10) (fun () ->
+         incr fired;
+         Simulator.stop sim));
+  ignore (Simulator.schedule sim ~at:(Simtime.of_ns 20) (fun () -> incr fired));
+  Simulator.run sim;
+  Alcotest.(check int) "stop halts the run" 1 !fired;
+  Simulator.run sim;
+  Alcotest.(check int) "run can resume" 2 !fired
+
+let test_sim_max_events () =
+  let sim = Simulator.create () in
+  let fired = ref 0 in
+  for i = 1 to 10 do
+    ignore (Simulator.schedule sim ~at:(Simtime.of_ns i) (fun () -> incr fired))
+  done;
+  Simulator.run ~max_events:3 sim;
+  Alcotest.(check int) "bounded" 3 !fired
+
+let test_sim_step () =
+  let sim = Simulator.create () in
+  Alcotest.(check bool) "step on empty" false (Simulator.step sim);
+  ignore (Simulator.schedule sim ~at:(Simtime.of_ns 1) ignore);
+  Alcotest.(check bool) "step runs one" true (Simulator.step sim)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "engine"
+    [
+      ( "simtime",
+        [
+          Alcotest.test_case "construction" `Quick test_simtime_construction;
+          Alcotest.test_case "spans" `Quick test_simtime_spans;
+          Alcotest.test_case "arithmetic" `Quick test_simtime_arithmetic;
+          Alcotest.test_case "ordering" `Quick test_simtime_ordering;
+          Alcotest.test_case "seconds conversion" `Quick test_simtime_to_sec;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "copy replays" `Quick test_rng_copy_replays;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "exponential mean" `Slow test_rng_exponential_mean;
+          Alcotest.test_case "poisson mean" `Slow test_rng_poisson_mean;
+          Alcotest.test_case "geometric" `Slow test_rng_geometric;
+        ] );
+      ( "event_queue",
+        [
+          Alcotest.test_case "time order" `Quick test_queue_time_order;
+          Alcotest.test_case "fifo ties" `Quick test_queue_fifo_ties;
+          Alcotest.test_case "cancel" `Quick test_queue_cancel;
+          Alcotest.test_case "peek" `Quick test_queue_peek;
+          Alcotest.test_case "interleaved growth" `Quick test_queue_interleaved_growth;
+          qc prop_queue_matches_sort;
+        ] );
+      ( "simulator",
+        [
+          Alcotest.test_case "runs in order" `Quick test_sim_runs_in_order;
+          Alcotest.test_case "clock advances" `Quick test_sim_clock_advances;
+          Alcotest.test_case "schedule_after" `Quick test_sim_schedule_after;
+          Alcotest.test_case "past rejected" `Quick test_sim_past_rejected;
+          Alcotest.test_case "cancel" `Quick test_sim_cancel;
+          Alcotest.test_case "until horizon" `Quick test_sim_until_horizon;
+          Alcotest.test_case "stop" `Quick test_sim_stop;
+          Alcotest.test_case "max events" `Quick test_sim_max_events;
+          Alcotest.test_case "step" `Quick test_sim_step;
+        ] );
+    ]

@@ -1,0 +1,371 @@
+(* Tests for the wireless error models: Channel_state, State_timeline,
+   Gilbert_elliott, Deterministic_channel, Uniform_channel, Loss. *)
+
+open Core
+
+let sec = Simtime.span_sec
+let at = Simtime.of_ns
+
+(* ------------------------------------------------------------------ *)
+(* Channel_state                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_state_basics () =
+  Alcotest.(check bool) "good=good" true
+    (Channel_state.equal Channel_state.Good Channel_state.Good);
+  Alcotest.(check bool) "good<>bad" false
+    (Channel_state.equal Channel_state.Good Channel_state.Bad);
+  Alcotest.(check bool) "flip good" true
+    (Channel_state.equal (Channel_state.flip Channel_state.Good)
+       Channel_state.Bad);
+  Alcotest.(check bool) "flip twice" true
+    (Channel_state.equal
+       (Channel_state.flip (Channel_state.flip Channel_state.Bad))
+       Channel_state.Bad)
+
+(* ------------------------------------------------------------------ *)
+(* State_timeline                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let fixed_timeline ~good ~bad =
+  State_timeline.create
+    ~duration_of:(function
+      | Channel_state.Good -> sec good
+      | Channel_state.Bad -> sec bad)
+    ()
+
+let total_span segments =
+  List.fold_left
+    (fun acc (_, d) -> Simtime.span_add acc d)
+    Simtime.span_zero segments
+
+let test_timeline_covers_interval () =
+  let tl = fixed_timeline ~good:10.0 ~bad:4.0 in
+  let segments =
+    State_timeline.segments tl ~start:(at 3_000_000_000)
+      ~stop:(at 27_000_000_000)
+  in
+  Alcotest.(check int) "durations cover the interval" 24_000_000_000
+    (Simtime.span_to_ns (total_span segments))
+
+let test_timeline_alternates () =
+  let tl = fixed_timeline ~good:10.0 ~bad:4.0 in
+  let segments =
+    State_timeline.segments tl ~start:Simtime.zero ~stop:(at 24_000_000_000)
+  in
+  let states = List.map fst segments in
+  Alcotest.(check int) "three segments" 3 (List.length states);
+  match states with
+  | [ Channel_state.Good; Channel_state.Bad; Channel_state.Good ] -> ()
+  | _ -> Alcotest.fail "expected good/bad/good"
+
+let test_timeline_mid_period_query () =
+  let tl = fixed_timeline ~good:10.0 ~bad:4.0 in
+  (* [11s, 13s) lies inside the first bad period (10-14s). *)
+  match
+    State_timeline.segments tl ~start:(at 11_000_000_000)
+      ~stop:(at 13_000_000_000)
+  with
+  | [ (Channel_state.Bad, d) ] ->
+    Alcotest.(check int) "two seconds of bad" 2_000_000_000
+      (Simtime.span_to_ns d)
+  | _ -> Alcotest.fail "expected single bad segment"
+
+let test_timeline_queries_cached () =
+  (* Non-monotonic queries must see the same realisation. *)
+  let draws = ref 0 in
+  let tl =
+    State_timeline.create
+      ~duration_of:(fun _ ->
+        incr draws;
+        sec 1.0)
+      ()
+  in
+  let s1 = State_timeline.segments tl ~start:(at 0) ~stop:(at 5_000_000_000) in
+  let before = !draws in
+  let s2 = State_timeline.segments tl ~start:(at 0) ~stop:(at 5_000_000_000) in
+  Alcotest.(check int) "no new draws on replay" before !draws;
+  Alcotest.(check bool) "same segments" true (s1 = s2)
+
+let test_timeline_empty_interval () =
+  let tl = fixed_timeline ~good:1.0 ~bad:1.0 in
+  Alcotest.(check int) "empty" 0
+    (List.length (State_timeline.segments tl ~start:(at 5) ~stop:(at 5)))
+
+let test_timeline_positive_duration_enforced () =
+  let tl = State_timeline.create ~duration_of:(fun _ -> Simtime.span_zero) () in
+  Alcotest.check_raises "zero duration rejected"
+    (Invalid_argument "State_timeline: duration must be positive") (fun () ->
+      ignore (State_timeline.segments tl ~start:(at 0) ~stop:(at 1)))
+
+let prop_timeline_coverage =
+  QCheck2.Test.make ~name:"timeline segments always cover [start,stop)"
+    ~count:200
+    QCheck2.Gen.(pair (int_range 0 40_000) (int_range 1 40_000))
+    (fun (start_ms, len_ms) ->
+      let tl = fixed_timeline ~good:3.0 ~bad:2.0 in
+      let start = at (start_ms * 1_000_000) in
+      let stop = Simtime.add start (Simtime.span_ms len_ms) in
+      let segments = State_timeline.segments tl ~start ~stop in
+      Simtime.span_to_ns (total_span segments) = len_ms * 1_000_000)
+
+(* ------------------------------------------------------------------ *)
+(* Channel wrappers                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_deterministic_channel () =
+  let ch = Deterministic_channel.create ~good:(sec 10.0) ~bad:(sec 4.0) in
+  Alcotest.(check bool) "good at start" true
+    (Channel_state.equal (Channel.state_at ch Simtime.zero) Channel_state.Good);
+  Alcotest.(check bool) "bad at 12s" true
+    (Channel_state.equal
+       (Channel.state_at ch (at 12_000_000_000))
+       Channel_state.Bad);
+  Alcotest.(check bool) "good again at 15s" true
+    (Channel_state.equal
+       (Channel.state_at ch (at 15_000_000_000))
+       Channel_state.Good);
+  let bad_time =
+    Channel.time_in_state ch ~start:Simtime.zero ~stop:(at 28_000_000_000)
+      Channel_state.Bad
+  in
+  Alcotest.(check int) "8s of bad in two cycles" 8_000_000_000
+    (Simtime.span_to_ns bad_time)
+
+let test_deterministic_rejects_zero () =
+  Alcotest.check_raises "zero period"
+    (Invalid_argument "Deterministic_channel.create: zero period") (fun () ->
+      ignore (Deterministic_channel.create ~good:Simtime.span_zero ~bad:(sec 1.0)))
+
+let test_uniform_channel () =
+  let ch = Uniform_channel.always Channel_state.Bad in
+  Alcotest.(check bool) "pinned bad" true
+    (Channel_state.equal (Channel.state_at ch (at 123)) Channel_state.Bad);
+  let perfect = Uniform_channel.perfect () in
+  Alcotest.(check bool) "perfect good" true
+    (Channel_state.equal
+       (Channel.state_at perfect (at 99_999_999))
+       Channel_state.Good)
+
+let test_gilbert_elliott_statistics () =
+  let rng = Rng.create ~seed:11 in
+  let ch =
+    Gilbert_elliott.create ~rng ~mean_good:(sec 10.0) ~mean_bad:(sec 4.0)
+  in
+  (* Over a long horizon the bad fraction approaches 4/14. *)
+  let horizon = at 2_000_000_000_000 (* 2000 s *) in
+  let bad =
+    Channel.time_in_state ch ~start:Simtime.zero ~stop:horizon
+      Channel_state.Bad
+  in
+  let fraction =
+    Simtime.span_to_sec bad /. Simtime.to_sec horizon
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "bad fraction %.3f near 0.286" fraction)
+    true
+    (Float.abs (fraction -. (4.0 /. 14.0)) < 0.04)
+
+let test_gilbert_elliott_deterministic_by_seed () =
+  let build seed =
+    let rng = Rng.create ~seed in
+    Gilbert_elliott.create ~rng ~mean_good:(sec 10.0) ~mean_bad:(sec 4.0)
+  in
+  let a = build 5 and b = build 5 in
+  let sa = Channel.segments a ~start:Simtime.zero ~stop:(at 100_000_000_000) in
+  let sb = Channel.segments b ~start:Simtime.zero ~stop:(at 100_000_000_000) in
+  Alcotest.(check bool) "same seed, same realisation" true (sa = sb)
+
+(* ------------------------------------------------------------------ *)
+(* Trace_channel                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_channel_replays () =
+  let ch =
+    Trace_channel.create
+      [ (Channel_state.Good, sec 2.0); (Channel_state.Bad, sec 1.0) ]
+  in
+  Alcotest.(check bool) "good at 1s" true
+    (Channel_state.equal (Channel.state_at ch (at 1_000_000_000))
+       Channel_state.Good);
+  Alcotest.(check bool) "bad at 2.5s" true
+    (Channel_state.equal
+       (Channel.state_at ch (at 2_500_000_000))
+       Channel_state.Bad)
+
+let test_trace_channel_cycles () =
+  let ch =
+    Trace_channel.create
+      [ (Channel_state.Good, sec 2.0); (Channel_state.Bad, sec 1.0) ]
+  in
+  (* Cycle length 3 s: 7.5 s is 1.5 s into the third cycle -> good. *)
+  Alcotest.(check bool) "good at 7.5s (cycled)" true
+    (Channel_state.equal
+       (Channel.state_at ch (at 7_500_000_000))
+       Channel_state.Good);
+  Alcotest.(check bool) "bad at 8.5s (cycled)" true
+    (Channel_state.equal
+       (Channel.state_at ch (at 8_500_000_000))
+       Channel_state.Bad);
+  let bad =
+    Channel.time_in_state ch ~start:Simtime.zero ~stop:(at 9_000_000_000)
+      Channel_state.Bad
+  in
+  Alcotest.(check int) "3s of bad over three cycles" 3_000_000_000
+    (Simtime.span_to_ns bad)
+
+let test_trace_channel_holds () =
+  let ch =
+    Trace_channel.create ~continuation:Trace_channel.Hold
+      [ (Channel_state.Good, sec 1.0); (Channel_state.Bad, sec 1.0) ]
+  in
+  Alcotest.(check bool) "holds final state" true
+    (Channel_state.equal
+       (Channel.state_at ch (at 50_000_000_000))
+       Channel_state.Bad)
+
+let test_trace_channel_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Trace_channel.create: empty trace")
+    (fun () -> ignore (Trace_channel.create []));
+  Alcotest.check_raises "zero duration"
+    (Invalid_argument "Trace_channel.create: non-positive duration") (fun () ->
+      ignore (Trace_channel.create [ (Channel_state.Good, Simtime.span_zero) ]))
+
+let test_trace_channel_covers_intervals () =
+  let ch =
+    Trace_channel.create
+      [ (Channel_state.Good, sec 0.7); (Channel_state.Bad, sec 0.3) ]
+  in
+  let segments =
+    Channel.segments ch ~start:(at 350_000_000) ~stop:(at 2_050_000_000)
+  in
+  let total =
+    List.fold_left (fun acc (_, d) -> acc + Simtime.span_to_ns d) 0 segments
+  in
+  Alcotest.(check int) "durations cover the query" 1_700_000_000 total
+
+(* ------------------------------------------------------------------ *)
+(* Loss                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_expected_errors () =
+  let ber = Loss.{ good = 1e-6; bad = 1e-2 } in
+  (* 1 second of good + 0.5 s of bad at 19200 bps. *)
+  let segments =
+    [ (Channel_state.Good, sec 1.0); (Channel_state.Bad, sec 0.5) ]
+  in
+  let expected = Loss.expected_errors ber ~bits_per_sec:19_200.0 ~segments in
+  Alcotest.(check (float 1e-6)) "integral" (0.0192 +. 96.0) expected
+
+let test_loss_probability () =
+  Alcotest.(check (float 1e-9)) "zero errors" 0.0
+    (Loss.loss_probability ~expected:0.0);
+  Alcotest.(check bool) "huge expected ~1" true
+    (Loss.loss_probability ~expected:50.0 > 0.999999)
+
+let test_threshold_decision () =
+  let ber = Loss.paper_ber in
+  let good_only = [ (Channel_state.Good, sec 0.08) ] in
+  Alcotest.(check bool) "good frame survives" false
+    (Loss.frame_lost Loss.Threshold ber ~bits_per_sec:19_200.0
+       ~segments:good_only);
+  let bad_only = [ (Channel_state.Bad, sec 0.08) ] in
+  Alcotest.(check bool) "bad frame lost" true
+    (Loss.frame_lost Loss.Threshold ber ~bits_per_sec:19_200.0
+       ~segments:bad_only)
+
+let test_stochastic_decision_rates () =
+  let rng = Rng.create ~seed:21 in
+  let ber = Loss.paper_ber in
+  let bad = [ (Channel_state.Bad, sec 0.08) ] in
+  let losses = ref 0 in
+  let n = 2_000 in
+  for _ = 1 to n do
+    if
+      Loss.frame_lost (Loss.Stochastic rng) ber ~bits_per_sec:19_200.0
+        ~segments:bad
+    then incr losses
+  done;
+  Alcotest.(check bool) "bad-state frames nearly always lost" true
+    (!losses > n * 99 / 100);
+  let good = [ (Channel_state.Good, sec 0.08) ] in
+  let losses = ref 0 in
+  for _ = 1 to n do
+    if
+      Loss.frame_lost (Loss.Stochastic rng) ber ~bits_per_sec:19_200.0
+        ~segments:good
+    then incr losses
+  done;
+  Alcotest.(check bool) "good-state frames nearly never lost" true
+    (!losses < n / 100)
+
+let test_no_errors_never_loses () =
+  let rng = Rng.create ~seed:3 in
+  let segments = [ (Channel_state.Bad, sec 10.0) ] in
+  Alcotest.(check bool) "ber 0" false
+    (Loss.frame_lost (Loss.Stochastic rng) Loss.no_errors
+       ~bits_per_sec:19_200.0 ~segments)
+
+let prop_loss_monotone_in_exposure =
+  QCheck2.Test.make ~name:"expected errors grow with bad-state exposure"
+    ~count:100
+    QCheck2.Gen.(pair (int_range 0 1000) (int_range 0 1000))
+    (fun (a_ms, b_ms) ->
+      let lo = Stdlib.min a_ms b_ms and hi = Stdlib.max a_ms b_ms in
+      let expected ms =
+        Loss.expected_errors Loss.paper_ber ~bits_per_sec:19_200.0
+          ~segments:[ (Channel_state.Bad, Simtime.span_ms ms) ]
+      in
+      expected lo <= expected hi)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "errors"
+    [
+      ( "channel_state",
+        [ Alcotest.test_case "basics" `Quick test_state_basics ] );
+      ( "state_timeline",
+        [
+          Alcotest.test_case "covers interval" `Quick
+            test_timeline_covers_interval;
+          Alcotest.test_case "alternates" `Quick test_timeline_alternates;
+          Alcotest.test_case "mid-period query" `Quick
+            test_timeline_mid_period_query;
+          Alcotest.test_case "queries cached" `Quick test_timeline_queries_cached;
+          Alcotest.test_case "empty interval" `Quick test_timeline_empty_interval;
+          Alcotest.test_case "positive durations" `Quick
+            test_timeline_positive_duration_enforced;
+          qc prop_timeline_coverage;
+        ] );
+      ( "channels",
+        [
+          Alcotest.test_case "deterministic" `Quick test_deterministic_channel;
+          Alcotest.test_case "deterministic rejects zero" `Quick
+            test_deterministic_rejects_zero;
+          Alcotest.test_case "uniform" `Quick test_uniform_channel;
+          Alcotest.test_case "gilbert-elliott statistics" `Slow
+            test_gilbert_elliott_statistics;
+          Alcotest.test_case "gilbert-elliott determinism" `Quick
+            test_gilbert_elliott_deterministic_by_seed;
+        ] );
+      ( "trace_channel",
+        [
+          Alcotest.test_case "replays" `Quick test_trace_channel_replays;
+          Alcotest.test_case "cycles" `Quick test_trace_channel_cycles;
+          Alcotest.test_case "holds" `Quick test_trace_channel_holds;
+          Alcotest.test_case "validation" `Quick test_trace_channel_validation;
+          Alcotest.test_case "covers intervals" `Quick
+            test_trace_channel_covers_intervals;
+        ] );
+      ( "loss",
+        [
+          Alcotest.test_case "expected errors" `Quick test_expected_errors;
+          Alcotest.test_case "loss probability" `Quick test_loss_probability;
+          Alcotest.test_case "threshold decision" `Quick test_threshold_decision;
+          Alcotest.test_case "stochastic rates" `Slow
+            test_stochastic_decision_rates;
+          Alcotest.test_case "no errors never loses" `Quick
+            test_no_errors_never_loses;
+          qc prop_loss_monotone_in_exposure;
+        ] );
+    ]

@@ -1,0 +1,150 @@
+(* Tests for the base-station feedback mechanisms: Ebsn,
+   Source_quench. *)
+
+open Core
+
+let addr = Address.make
+let ids = Ids.create ()
+let alloc_id () = Ids.next ids
+let at_ms ms = Simtime.of_ns (ms * 1_000_000)
+
+(* ------------------------------------------------------------------ *)
+(* EBSN                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_ebsn_message () =
+  let msg =
+    Ebsn.make ~alloc_id ~src:(addr 1) ~dst:(addr 0) ~conn:3 ~now:(at_ms 10)
+  in
+  (match msg.Packet.kind with
+  | Packet.Ebsn { conn } -> Alcotest.(check int) "conn" 3 conn
+  | _ -> Alcotest.fail "wrong kind");
+  Alcotest.(check int) "size" Ebsn.message_bytes (Packet.size msg);
+  Alcotest.(check int) "dst is the source host" 0
+    (Address.to_int msg.Packet.dst);
+  Alcotest.(check bool) "not data" false (Packet.is_data msg);
+  Alcotest.(check string) "label" "ebsn" (Packet.kind_label msg)
+
+let test_ebsn_every_attempt () =
+  let gate = Ebsn.gate Ebsn.Every_attempt in
+  for i = 1 to 5 do
+    Alcotest.(check bool) "always admitted" true
+      (Ebsn.admit gate ~conn:0 ~now:(at_ms i))
+  done
+
+let test_ebsn_min_interval () =
+  let gate = Ebsn.gate (Ebsn.Min_interval (Simtime.span_ms 100)) in
+  Alcotest.(check bool) "first admitted" true
+    (Ebsn.admit gate ~conn:0 ~now:(at_ms 0));
+  Alcotest.(check bool) "too soon" false
+    (Ebsn.admit gate ~conn:0 ~now:(at_ms 50));
+  Alcotest.(check bool) "after the interval" true
+    (Ebsn.admit gate ~conn:0 ~now:(at_ms 100));
+  (* Pacing is per connection. *)
+  Alcotest.(check bool) "other conn independent" true
+    (Ebsn.admit gate ~conn:1 ~now:(at_ms 101))
+
+let test_ebsn_min_interval_not_consumed_by_rejection () =
+  let gate = Ebsn.gate (Ebsn.Min_interval (Simtime.span_ms 100)) in
+  ignore (Ebsn.admit gate ~conn:0 ~now:(at_ms 0));
+  ignore (Ebsn.admit gate ~conn:0 ~now:(at_ms 99));
+  Alcotest.(check bool) "rejection does not reset the clock" true
+    (Ebsn.admit gate ~conn:0 ~now:(at_ms 100))
+
+(* ------------------------------------------------------------------ *)
+(* Source quench                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_quench_message () =
+  let msg =
+    Source_quench.make ~alloc_id ~src:(addr 1) ~dst:(addr 0) ~conn:2
+      ~now:(at_ms 5)
+  in
+  (match msg.Packet.kind with
+  | Packet.Source_quench { conn } -> Alcotest.(check int) "conn" 2 conn
+  | _ -> Alcotest.fail "wrong kind");
+  Alcotest.(check int) "size" Source_quench.message_bytes (Packet.size msg)
+
+let test_quench_failure_trigger () =
+  let gate =
+    Source_quench.gate Source_quench.On_attempt_failure
+      ~min_interval:(Simtime.span_ms 200)
+  in
+  Alcotest.(check bool) "first failure quenches" true
+    (Source_quench.admit_failure gate ~conn:0 ~now:(at_ms 0));
+  Alcotest.(check bool) "paced" false
+    (Source_quench.admit_failure gate ~conn:0 ~now:(at_ms 100));
+  Alcotest.(check bool) "after interval" true
+    (Source_quench.admit_failure gate ~conn:0 ~now:(at_ms 200));
+  Alcotest.(check bool) "backlog trigger inert in this mode" false
+    (Source_quench.admit_backlog gate ~conn:0 ~backlog:1000 ~now:(at_ms 500))
+
+let test_quench_backlog_trigger () =
+  let gate =
+    Source_quench.gate (Source_quench.On_backlog 10)
+      ~min_interval:(Simtime.span_ms 200)
+  in
+  Alcotest.(check bool) "below threshold" false
+    (Source_quench.admit_backlog gate ~conn:0 ~backlog:9 ~now:(at_ms 0));
+  Alcotest.(check bool) "at threshold" true
+    (Source_quench.admit_backlog gate ~conn:0 ~backlog:10 ~now:(at_ms 0));
+  Alcotest.(check bool) "paced" false
+    (Source_quench.admit_backlog gate ~conn:0 ~backlog:50 ~now:(at_ms 100));
+  Alcotest.(check bool) "failure trigger inert in this mode" false
+    (Source_quench.admit_failure gate ~conn:0 ~now:(at_ms 500))
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: EBSN prevents a timeout that quench cannot              *)
+(* ------------------------------------------------------------------ *)
+
+let test_ebsn_vs_quench_semantics () =
+  (* Identical senders with packets in flight and no acks coming back:
+     a stream of EBSNs keeps postponing the timer, a stream of
+     quenches does not. *)
+  let drive handle =
+    let sim = Simulator.create () in
+    let ids = Ids.create () in
+    let sender =
+      Tahoe_sender.create sim
+        ~config:(Tcp_config.with_packet_size Tcp_config.default 576)
+        ~conn:0 ~src:(addr 0) ~dst:(addr 2) ~total_bytes:100_000
+        ~alloc_id:(fun () -> Ids.next ids)
+        ~transmit:(fun _ -> ())
+    in
+    Tahoe_sender.start sender;
+    for i = 1 to 20 do
+      ignore
+        (Simulator.schedule sim
+           ~at:(Simtime.of_ns (i * 2_000_000_000))
+           (fun () -> handle sender))
+    done;
+    Simulator.run ~until:(Simtime.of_ns 40_000_000_000) sim;
+    (Tahoe_sender.stats sender).Tcp_stats.timeouts
+  in
+  let with_ebsn = drive Tahoe_sender.handle_ebsn in
+  let with_quench = drive Tahoe_sender.handle_quench in
+  Alcotest.(check int) "no timeouts with EBSN" 0 with_ebsn;
+  Alcotest.(check bool) "timeouts despite quenches" true (with_quench > 0)
+
+let () =
+  Alcotest.run "feedback"
+    [
+      ( "ebsn",
+        [
+          Alcotest.test_case "message" `Quick test_ebsn_message;
+          Alcotest.test_case "every attempt" `Quick test_ebsn_every_attempt;
+          Alcotest.test_case "min interval" `Quick test_ebsn_min_interval;
+          Alcotest.test_case "rejection keeps clock" `Quick
+            test_ebsn_min_interval_not_consumed_by_rejection;
+        ] );
+      ( "quench",
+        [
+          Alcotest.test_case "message" `Quick test_quench_message;
+          Alcotest.test_case "failure trigger" `Quick test_quench_failure_trigger;
+          Alcotest.test_case "backlog trigger" `Quick test_quench_backlog_trigger;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "ebsn vs quench" `Quick test_ebsn_vs_quench_semantics;
+        ] );
+    ]

@@ -1,0 +1,326 @@
+(* Heavier property-based tests: whole-subsystem invariants checked
+   over randomised inputs (qcheck). *)
+
+open Core
+
+let addr = Address.make
+let sec = Simtime.span_sec
+
+let mk_data ~id ~len =
+  Packet.create ~id ~src:(addr 0) ~dst:(addr 2)
+    ~kind:(Packet.Tcp_data { conn = 0; seq = id * 1024; length = len;
+                             is_retransmit = false })
+    ~header_bytes:40 ~created:Simtime.zero
+
+(* ------------------------------------------------------------------ *)
+(* Event queue with random cancellations                               *)
+(* ------------------------------------------------------------------ *)
+
+let prop_queue_cancel_subset =
+  QCheck2.Test.make
+    ~name:"event queue: popping after cancelling a subset yields exactly the \
+           sorted survivors"
+    ~count:200
+    QCheck2.Gen.(
+      list_size (int_range 0 80) (pair (int_range 0 40) bool))
+    (fun entries ->
+      let q = Event_queue.create () in
+      let handles =
+        List.mapi
+          (fun i (time, keep) ->
+            (Event_queue.add q ~time:(Simtime.of_ns time) (time, i), keep))
+          entries
+      in
+      List.iter
+        (fun (h, keep) -> if not keep then Event_queue.cancel q h)
+        handles;
+      let expected =
+        entries
+        |> List.mapi (fun i (time, keep) -> (time, i, keep))
+        |> List.filter (fun (_, _, keep) -> keep)
+        |> List.map (fun (time, i, _) -> (time, i))
+        |> List.stable_sort compare
+      in
+      let rec drain acc =
+        match Event_queue.pop q with
+        | Some (_, v) -> drain (v :: acc)
+        | None -> List.rev acc
+      in
+      drain [] = expected)
+
+(* ------------------------------------------------------------------ *)
+(* Timeline alternation                                                *)
+(* ------------------------------------------------------------------ *)
+
+let prop_timeline_alternates =
+  QCheck2.Test.make
+    ~name:"state timeline: adjacent segments of a full-history query \
+           alternate states"
+    ~count:100
+    QCheck2.Gen.(pair (int_range 1 5000) (int_range 1 5000))
+    (fun (good_ms, bad_ms) ->
+      let tl =
+        State_timeline.create
+          ~duration_of:(function
+            | Channel_state.Good -> Simtime.span_ms good_ms
+            | Channel_state.Bad -> Simtime.span_ms bad_ms)
+          ()
+      in
+      let segments =
+        State_timeline.segments tl ~start:Simtime.zero
+          ~stop:(Simtime.of_ns 60_000_000_000)
+      in
+      let rec alternates = function
+        | (a, _) :: ((b, _) :: _ as rest) ->
+          (not (Channel_state.equal a b)) && alternates rest
+        | [ _ ] | [] -> true
+      in
+      alternates segments)
+
+(* ------------------------------------------------------------------ *)
+(* Fragmentation round-trips through reassembly                        *)
+(* ------------------------------------------------------------------ *)
+
+let prop_fragment_reassembly_roundtrip =
+  QCheck2.Test.make
+    ~name:"fragmenter -> reassembly delivers each packet exactly once, any \
+           arrival order"
+    ~count:200
+    QCheck2.Gen.(
+      pair (int_range 1 2000) (pair (int_range 16 300) (int_range 0 1000)))
+    (fun (len, (mtu, seed)) ->
+      let sim = Simulator.create () in
+      let delivered = ref [] in
+      let reasm =
+        Reassembly.create sim ~timeout:(sec 10.0) ~deliver:(fun pkt ->
+            delivered := pkt.Packet.id :: !delivered)
+      in
+      let pkt = mk_data ~id:1 ~len in
+      let payloads = Array.of_list (Fragmenter.split ~mtu pkt) in
+      (* Shuffle deterministically. *)
+      let rng = Rng.create ~seed in
+      let n = Array.length payloads in
+      for i = n - 1 downto 1 do
+        let j = Rng.int rng (i + 1) in
+        let tmp = payloads.(i) in
+        payloads.(i) <- payloads.(j);
+        payloads.(j) <- tmp
+      done;
+      Array.iter (Reassembly.receive reasm) payloads;
+      !delivered = [ 1 ] && Reassembly.pending reasm = 0)
+
+(* ------------------------------------------------------------------ *)
+(* ARQ end-to-end invariants                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A loopback ARQ rig over a channel built from a random state trace;
+   the ack path is clean.  With unlimited retries, everything must
+   arrive exactly once and in order. *)
+let arq_rig ~channel ~rt_max ~n_packets ~seed =
+  let sim = Simulator.create ~seed () in
+  let config =
+    Wireless_link.
+      {
+        bandwidth = Units.kbps 19.2;
+        delay = Simtime.span_ms 5;
+        overhead_factor = 1.5;
+        ber = Loss.paper_ber;
+        decision = Loss.Stochastic (Rng.split (Simulator.rng sim));
+      }
+  in
+  let down =
+    Wireless_link.create sim ~name:"d" ~config ~channel_for:(fun _ -> channel)
+      ~queue_capacity:256
+  in
+  let up =
+    Wireless_link.create sim ~name:"u"
+      ~config:{ config with Wireless_link.ber = Loss.no_errors }
+      ~channel_for:(fun _ -> Uniform_channel.perfect ())
+      ~queue_capacity:256
+  in
+  let arq =
+    Arq.create sim
+      ~rng:(Rng.split (Simulator.rng sim))
+      ~config:
+        {
+          Arq.rt_max;
+          window = 4;
+          ack_timeout_margin = Simtime.span_ms 40;
+          backoff = Backoff.Uniform (Simtime.span_ms 120);
+          scheduler = Sched.Fifo;
+          queue_capacity = 256;
+          defer_on_backoff = false;
+        }
+      ~link:down
+  in
+  let delivered = ref [] in
+  let ack_ids = Ids.create ~first:10_000 () in
+  let receiver =
+    Arq_receiver.create sim
+      ~send_ack:(fun ~acked_seq ->
+        Wireless_link.send up
+          { Frame.seq = Ids.next ack_ids; payload = Frame.Link_ack { acked_seq } })
+      ~resequence:{ Arq_receiver.hole_timeout = sec 3.0 }
+      ~deliver:(fun payload ->
+        match payload with
+        | Frame.Whole pkt -> delivered := pkt.Packet.id :: !delivered
+        | Frame.Fragment _ | Frame.Link_ack _ -> ())
+      ()
+  in
+  Wireless_link.set_receiver down (Arq_receiver.receive receiver);
+  Wireless_link.set_receiver up (fun frame ->
+      match frame.Frame.payload with
+      | Frame.Link_ack { acked_seq } -> Arq.handle_link_ack arq ~acked_seq
+      | Frame.Whole _ | Frame.Fragment _ -> ());
+  for i = 0 to n_packets - 1 do
+    ignore (Arq.send arq ~conn:0 (Frame.Whole (mk_data ~id:i ~len:88)))
+  done;
+  Simulator.run ~until:(Simtime.of_ns 600_000_000_000) sim;
+  (arq, List.rev !delivered)
+
+let random_channel ~seed =
+  (* Random alternating trace, 0.1-2s periods. *)
+  let rng = Rng.create ~seed in
+  let periods =
+    List.init 16 (fun i ->
+        ( (if i mod 2 = 0 then Channel_state.Good else Channel_state.Bad),
+          Simtime.span_ms (100 + Rng.int rng 1900) ))
+  in
+  Trace_channel.create periods
+
+let prop_arq_reliable_with_unbounded_retries =
+  QCheck2.Test.make
+    ~name:"ARQ with effectively unbounded retries delivers every frame \
+           exactly once, in order, over any bursty channel"
+    ~count:25
+    QCheck2.Gen.(pair (int_range 1 30) (int_range 0 10_000))
+    (fun (n_packets, seed) ->
+      let channel = random_channel ~seed in
+      let arq, delivered = arq_rig ~channel ~rt_max:1000 ~n_packets ~seed in
+      delivered = List.init n_packets Fun.id
+      && (Arq.stats arq).Arq.discards = 0)
+
+let prop_arq_no_duplicates_ever =
+  QCheck2.Test.make
+    ~name:"ARQ delivery never duplicates upward, even with few retries"
+    ~count:25
+    QCheck2.Gen.(pair (int_range 1 30) (int_range 0 10_000))
+    (fun (n_packets, seed) ->
+      let channel = random_channel ~seed in
+      let _, delivered = arq_rig ~channel ~rt_max:3 ~n_packets ~seed in
+      let sorted = List.sort_uniq compare delivered in
+      List.length sorted = List.length delivered)
+
+(* ------------------------------------------------------------------ *)
+(* Sink over arbitrary segmentations                                   *)
+(* ------------------------------------------------------------------ *)
+
+let prop_sink_arbitrary_segmentation =
+  QCheck2.Test.make
+    ~name:"sink completes under any segmentation and arrival order, \
+           including overlaps"
+    ~count:150
+    QCheck2.Gen.(
+      pair (int_range 1 40) (pair (int_range 1 500) (int_range 0 100_000)))
+    (fun (n_cuts, (max_seg, seed)) ->
+      let total = 4000 in
+      let rng = Rng.create ~seed in
+      (* Random overlapping segments covering [0, total). *)
+      let segments = ref [] in
+      let covered = ref 0 in
+      while !covered < total do
+        let len = 1 + Rng.int rng max_seg in
+        let len = Stdlib.min len (total - !covered) in
+        segments := (!covered, len) :: !segments;
+        covered := !covered + len
+      done;
+      (* Extra random (possibly overlapping) segments. *)
+      for _ = 1 to n_cuts do
+        let seq = Rng.int rng total in
+        let len = 1 + Rng.int rng (Stdlib.min max_seg (total - seq)) in
+        segments := (seq, len) :: !segments
+      done;
+      (* Shuffle. *)
+      let arr = Array.of_list !segments in
+      for i = Array.length arr - 1 downto 1 do
+        let j = Rng.int rng (i + 1) in
+        let tmp = arr.(i) in
+        arr.(i) <- arr.(j);
+        arr.(j) <- tmp
+      done;
+      let sim = Simulator.create () in
+      let ids = Ids.create () in
+      let sink =
+        Tcp_sink.create sim
+          ~config:(Tcp_config.with_packet_size Tcp_config.default 576)
+          ~conn:0 ~addr:(addr 2) ~peer:(addr 0) ~expected_bytes:total
+          ~alloc_id:(fun () -> Ids.next ids)
+          ~transmit:(fun _ -> ())
+      in
+      Array.iter (fun (seq, length) -> Tcp_sink.handle_data sink ~seq ~length) arr;
+      Tcp_sink.completed sink && Tcp_sink.rcv_nxt sink >= total)
+
+(* ------------------------------------------------------------------ *)
+(* Whole-system determinism and conservation over random scenarios     *)
+(* ------------------------------------------------------------------ *)
+
+let random_scenario (scheme_ix, (pkt_ix, (bad_ds, seed))) =
+  let scheme = List.nth Scenario.all_schemes (scheme_ix mod 6) in
+  let packet_size = 128 + (128 * (pkt_ix mod 12)) in
+  let mean_bad_sec = 0.5 +. (0.5 *. float_of_int (bad_ds mod 8)) in
+  Scenario.wan ~scheme ~packet_size ~mean_bad_sec ~file_bytes:20_480 ~seed ()
+
+let scenario_gen =
+  QCheck2.Gen.(
+    pair (int_range 0 5) (pair (int_range 0 11) (pair (int_range 0 7) (int_range 1 100_000))))
+
+let prop_system_deterministic =
+  QCheck2.Test.make
+    ~name:"whole system: identical scenarios give identical outcomes"
+    ~count:20 scenario_gen
+    (fun params ->
+      let s = random_scenario params in
+      let a = Wiring.run s and b = Wiring.run s in
+      Wiring.throughput_bps a = Wiring.throughput_bps b
+      && a.Wiring.ebsn_sent = b.Wiring.ebsn_sent
+      && Wiring.source_timeouts a = Wiring.source_timeouts b)
+
+let prop_system_delivers_file =
+  QCheck2.Test.make
+    ~name:"whole system: every scheme delivers the whole file under any \
+           packet size and fade length"
+    ~count:40 scenario_gen
+    (fun params ->
+      let s = random_scenario params in
+      let outcome = Wiring.run s in
+      outcome.Wiring.completed
+      && outcome.Wiring.sink_stats.Tcp_sink.bytes_delivered = 20_480)
+
+let prop_system_goodput_bounds =
+  QCheck2.Test.make
+    ~name:"whole system: goodput always in (0, 1]" ~count:30 scenario_gen
+    (fun params ->
+      let outcome = Wiring.run (random_scenario params) in
+      let g = Wiring.goodput outcome in
+      g > 0.0 && g <= 1.0 +. 1e-9)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "properties"
+    [
+      ("event_queue", [ qc prop_queue_cancel_subset ]);
+      ("timeline", [ qc prop_timeline_alternates ]);
+      ("fragmentation", [ qc prop_fragment_reassembly_roundtrip ]);
+      ( "arq",
+        [
+          qc prop_arq_reliable_with_unbounded_retries;
+          qc prop_arq_no_duplicates_ever;
+        ] );
+      ("sink", [ qc prop_sink_arbitrary_segmentation ]);
+      ( "system",
+        [
+          qc prop_system_deterministic;
+          qc prop_system_delivers_file;
+          qc prop_system_goodput_bounds;
+        ] );
+    ]

@@ -1,0 +1,109 @@
+(* Randomised stress: every public knob crossed with every other, many
+   seeds — the goal is not a specific assertion but that no
+   configuration crashes, hangs past its horizon, or fails to deliver
+   the file. *)
+
+open Core
+
+let check_wan seed =
+  let scheme = List.nth Scenario.all_schemes (seed mod 6) in
+  let flavor =
+    match seed mod 3 with
+    | 0 -> Tcp_config.Tahoe
+    | 1 -> Tcp_config.Reno
+    | _ -> Tcp_config.Sack
+  in
+  let file_bytes = 8_192 + ((seed mod 7) * 9_001) in
+  let s =
+    Scenario.wan ~scheme
+      ~packet_size:(128 + (128 * (seed mod 12)))
+      ~mean_bad_sec:(0.3 +. (float_of_int (seed mod 10) *. 0.7))
+      ~mean_good_sec:(2.0 +. (float_of_int (seed mod 5) *. 4.0))
+      ~file_bytes ~seed ()
+  in
+  let s =
+    {
+      s with
+      Scenario.tcp =
+        {
+          s.Scenario.tcp with
+          Tcp_config.flavor;
+          delayed_ack = seed mod 2 = 0;
+        };
+      Scenario.uplink_arq = seed mod 5 = 0;
+      Scenario.collect_nstrace = seed mod 17 = 0;
+    }
+  in
+  let o = Wiring.run s in
+  Alcotest.(check bool)
+    (Printf.sprintf "wan seed %d (%s) completes" seed (Scenario.describe s))
+    true o.Wiring.completed;
+  Alcotest.(check int)
+    (Printf.sprintf "wan seed %d delivers everything" seed)
+    file_bytes o.Wiring.sink_stats.Tcp_sink.bytes_delivered
+
+let test_wan_matrix () =
+  for seed = 1 to 300 do
+    check_wan seed
+  done
+
+let test_csdp_matrix () =
+  for seed = 1 to 25 do
+    let policy = if seed mod 2 = 0 then Sched.Fifo else Sched.Round_robin in
+    let r = Csdp.run ~n_conns:(2 + (seed mod 3)) ~seed ~policy () in
+    List.iter
+      (fun c ->
+        Alcotest.(check bool)
+          (Printf.sprintf "csdp seed %d conn %d completes" seed c.Csdp.conn)
+          true c.Csdp.completed)
+      r.Csdp.per_conn
+  done
+
+let test_handoff_matrix () =
+  for seed = 1 to 20 do
+    List.iter
+      (fun policy ->
+        let r =
+          Handoff.run ~seed
+            ~blackout_sec:(0.1 +. (float_of_int (seed mod 10) *. 0.2))
+            ~policy ()
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "handoff seed %d (%s) completes" seed
+             (Handoff.policy_name policy))
+          true r.Handoff.completed)
+      [ Handoff.Plain; Handoff.Fast_rtx; Handoff.Fast_rtx_reroute ]
+  done
+
+let test_lan_matrix () =
+  for seed = 1 to 20 do
+    let flavor =
+      match seed mod 3 with
+      | 0 -> Tcp_config.Tahoe
+      | 1 -> Tcp_config.Reno
+      | _ -> Tcp_config.Sack
+    in
+    let s =
+      Scenario.lan
+        ~scheme:(if seed mod 2 = 0 then Scenario.Ebsn else Scenario.Basic)
+        ~mean_bad_sec:(0.2 +. (float_of_int (seed mod 8) *. 0.3))
+        ~file_bytes:524_288 ~seed ()
+    in
+    let s = { s with Scenario.tcp = { s.Scenario.tcp with Tcp_config.flavor } } in
+    let o = Wiring.run s in
+    Alcotest.(check bool)
+      (Printf.sprintf "lan seed %d completes" seed)
+      true o.Wiring.completed
+  done
+
+let () =
+  Alcotest.run "stress"
+    [
+      ( "matrices",
+        [
+          Alcotest.test_case "wan knob matrix (300 runs)" `Slow test_wan_matrix;
+          Alcotest.test_case "csdp matrix" `Slow test_csdp_matrix;
+          Alcotest.test_case "handoff matrix" `Slow test_handoff_matrix;
+          Alcotest.test_case "lan matrix" `Slow test_lan_matrix;
+        ] );
+    ]

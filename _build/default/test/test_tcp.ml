@@ -1,0 +1,519 @@
+(* Tests for TCP-Tahoe: Tcp_config, Rto, Tahoe_sender, Tcp_sink,
+   Bulk_app. *)
+
+open Core
+
+let addr = Address.make
+
+(* ------------------------------------------------------------------ *)
+(* Tcp_config                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_config_packet_size () =
+  let cfg = Tcp_config.with_packet_size Tcp_config.default 576 in
+  Alcotest.(check int) "mss" 536 cfg.Tcp_config.mss;
+  Alcotest.(check int) "round trip" 576 (Tcp_config.packet_size cfg);
+  Alcotest.check_raises "too small"
+    (Invalid_argument "Tcp_config.with_packet_size: no room for payload")
+    (fun () -> ignore (Tcp_config.with_packet_size Tcp_config.default 40))
+
+let test_config_validation () =
+  Tcp_config.validate Tcp_config.default;
+  Alcotest.check_raises "bad window" (Invalid_argument "Tcp_config: window below mss")
+    (fun () ->
+      Tcp_config.validate { Tcp_config.default with Tcp_config.window = 10 })
+
+(* ------------------------------------------------------------------ *)
+(* Rto                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let make_rto () =
+  Rto.create ~initial_ticks:30 ~min_ticks:2 ~max_ticks:640 ~max_backoff:64
+
+let test_rto_initial () =
+  let rto = make_rto () in
+  Alcotest.(check int) "initial before samples" 30 (Rto.current_ticks rto);
+  Alcotest.(check int) "no samples" 0 (Rto.samples rto)
+
+let test_rto_first_sample () =
+  let rto = make_rto () in
+  Rto.sample rto ~rtt_ticks:8;
+  (* srtt = 8, rttvar = 4 -> rto = 8 + 16 = 24. *)
+  Alcotest.(check int) "after first sample" 24 (Rto.current_ticks rto);
+  Alcotest.(check (float 1e-9)) "srtt" 8.0 (Rto.srtt_ticks rto);
+  Alcotest.(check (float 1e-9)) "rttvar" 4.0 (Rto.rttvar_ticks rto)
+
+let test_rto_converges () =
+  let rto = make_rto () in
+  for _ = 1 to 200 do
+    Rto.sample rto ~rtt_ticks:10
+  done;
+  (* Constant RTT: variance decays, rto -> srtt + max(1, small). *)
+  Alcotest.(check bool) "converges near srtt" true (Rto.current_ticks rto <= 12);
+  Alcotest.(check bool) "srtt near 10" true
+    (Float.abs (Rto.srtt_ticks rto -. 10.0) < 0.5)
+
+let test_rto_backoff_doubles_and_caps () =
+  let rto = make_rto () in
+  Rto.sample rto ~rtt_ticks:10;
+  let base = Rto.current_ticks rto in
+  Rto.backoff rto;
+  Alcotest.(check int) "doubled" (2 * base) (Rto.current_ticks rto);
+  for _ = 1 to 20 do
+    Rto.backoff rto
+  done;
+  Alcotest.(check int) "multiplier capped" 64 (Rto.backoff_multiplier rto);
+  Alcotest.(check int) "rto capped" 640 (Rto.current_ticks rto);
+  Rto.reset_backoff rto;
+  Alcotest.(check int) "reset" base (Rto.current_ticks rto)
+
+let test_rto_min_enforced () =
+  let rto = make_rto () in
+  for _ = 1 to 100 do
+    Rto.sample rto ~rtt_ticks:0
+  done;
+  Alcotest.(check int) "floor" 2 (Rto.current_ticks rto)
+
+let prop_rto_within_bounds =
+  QCheck2.Test.make ~name:"rto stays within [min,max] for any sample stream"
+    ~count:200
+    QCheck2.Gen.(list_size (int_range 1 50) (int_range 0 100))
+    (fun samples ->
+      let rto = make_rto () in
+      List.iter (fun s -> Rto.sample rto ~rtt_ticks:s) samples;
+      let t = Rto.current_ticks rto in
+      t >= 2 && t <= 640)
+
+(* ------------------------------------------------------------------ *)
+(* Tahoe_sender harness                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Captures every transmitted packet; acks are injected manually. *)
+type harness = {
+  sim : Simulator.t;
+  sender : Tahoe_sender.t;
+  sent : (Simtime.t * int * int * bool) list ref;  (* time, seq, len, retx *)
+}
+
+let default_cfg = Tcp_config.with_packet_size Tcp_config.default 576
+
+let make_harness ?(config = default_cfg) ?(total = 100 * 536) () =
+  let sim = Simulator.create () in
+  let sent = ref [] in
+  let ids = Ids.create () in
+  let sender =
+    Tahoe_sender.create sim ~config ~conn:0 ~src:(addr 0) ~dst:(addr 2)
+      ~total_bytes:total
+      ~alloc_id:(fun () -> Ids.next ids)
+      ~transmit:(fun pkt ->
+        match pkt.Packet.kind with
+        | Packet.Tcp_data { seq; length; is_retransmit; _ } ->
+          sent := (Simulator.now sim, seq, length, is_retransmit) :: !sent
+        | Packet.Tcp_ack _ | Packet.Ebsn _ | Packet.Source_quench _ -> ())
+  in
+  { sim; sender; sent }
+
+let sent_seqs h = List.rev_map (fun (_, seq, _, _) -> seq) !(h.sent)
+let run_until h sec = Simulator.run ~until:(Simtime.of_ns (int_of_float (sec *. 1e9))) h.sim
+
+let test_sender_slow_start_growth () =
+  let h = make_harness () in
+  Tahoe_sender.start h.sender;
+  (* Initial window: one segment. *)
+  Alcotest.(check (list int)) "one segment initially" [ 0 ] (sent_seqs h);
+  Alcotest.(check int) "cwnd = mss" 536 (Tahoe_sender.cwnd_bytes h.sender);
+  (* Each ack in slow start grows cwnd by one mss. *)
+  Tahoe_sender.handle_ack h.sender ~ack:536;
+  Alcotest.(check int) "cwnd doubled" (2 * 536) (Tahoe_sender.cwnd_bytes h.sender);
+  Alcotest.(check int) "two more segments" 3 (List.length (sent_seqs h));
+  Tahoe_sender.handle_ack h.sender ~ack:(2 * 536);
+  Alcotest.(check int) "cwnd = 3 mss" (3 * 536) (Tahoe_sender.cwnd_bytes h.sender)
+
+let test_sender_window_limited () =
+  (* Window 4096 with 536-byte segments: at most 7 unacked segments. *)
+  let h = make_harness () in
+  Tahoe_sender.start h.sender;
+  let rec ack_all n =
+    if n > 0 then begin
+      let una = Tahoe_sender.snd_una h.sender in
+      Tahoe_sender.handle_ack h.sender ~ack:(una + 536);
+      ack_all (n - 1)
+    end
+  in
+  ack_all 20;
+  let outstanding =
+    Tahoe_sender.snd_nxt h.sender - Tahoe_sender.snd_una h.sender
+  in
+  Alcotest.(check bool) "flight bounded by the advertised window" true
+    (outstanding <= 4096)
+
+let test_sender_congestion_avoidance () =
+  let cfg = { default_cfg with Tcp_config.window = 100 * 536 } in
+  let h = make_harness ~config:cfg () in
+  Tahoe_sender.start h.sender;
+  (* Push cwnd past ssthresh by faking a loss first. *)
+  let rec ack n =
+    if n > 0 then begin
+      let una = Tahoe_sender.snd_una h.sender in
+      Tahoe_sender.handle_ack h.sender ~ack:(una + 536);
+      ack (n - 1)
+    end
+  in
+  ack 3;
+  (* Force a timeout: ssthresh = flight/2. *)
+  run_until h 10.0;
+  Alcotest.(check bool) "timeout happened" true
+    ((Tahoe_sender.stats h.sender).Tcp_stats.timeouts > 0);
+  let ssthresh = Tahoe_sender.ssthresh_bytes h.sender in
+  Alcotest.(check int) "cwnd collapsed" 536 (Tahoe_sender.cwnd_bytes h.sender);
+  (* Ack everything outstanding; once cwnd > ssthresh the growth per
+     ack is sub-mss. *)
+  let rec grow n =
+    if n > 0 then begin
+      let una = Tahoe_sender.snd_una h.sender in
+      if una < Tahoe_sender.snd_nxt h.sender then
+        Tahoe_sender.handle_ack h.sender ~ack:(una + 536);
+      grow (n - 1)
+    end
+  in
+  grow 40;
+  let cwnd = Tahoe_sender.cwnd_bytes h.sender in
+  Alcotest.(check bool) "cwnd grew past ssthresh" true (cwnd > ssthresh);
+  let before = cwnd in
+  let una = Tahoe_sender.snd_una h.sender in
+  Tahoe_sender.handle_ack h.sender ~ack:(una + 536);
+  let delta = Tahoe_sender.cwnd_bytes h.sender - before in
+  Alcotest.(check bool) "linear growth region" true (delta < 536)
+
+let test_sender_fast_retransmit () =
+  let h = make_harness () in
+  Tahoe_sender.start h.sender;
+  Tahoe_sender.handle_ack h.sender ~ack:536;
+  Tahoe_sender.handle_ack h.sender ~ack:(2 * 536);
+  (* Lose segment at 2*536: three duplicate acks trigger Tahoe fast
+     retransmit. *)
+  h.sent := [];
+  Tahoe_sender.handle_ack h.sender ~ack:(2 * 536);
+  Tahoe_sender.handle_ack h.sender ~ack:(2 * 536);
+  Alcotest.(check (list int)) "not yet" [] (sent_seqs h);
+  Tahoe_sender.handle_ack h.sender ~ack:(2 * 536);
+  (match sent_seqs h with
+  | first :: _ ->
+    Alcotest.(check int) "retransmits the lost segment" (2 * 536) first
+  | [] -> Alcotest.fail "no retransmission");
+  Alcotest.(check int) "counted" 1
+    (Tahoe_sender.stats h.sender).Tcp_stats.fast_retransmits;
+  Alcotest.(check int) "cwnd collapsed to one segment" 536
+    (Tahoe_sender.cwnd_bytes h.sender);
+  (* Further dupacks in the same window must not retrigger. *)
+  Tahoe_sender.handle_ack h.sender ~ack:(2 * 536);
+  Tahoe_sender.handle_ack h.sender ~ack:(2 * 536);
+  Tahoe_sender.handle_ack h.sender ~ack:(2 * 536);
+  Alcotest.(check int) "one fast retransmit per window" 1
+    (Tahoe_sender.stats h.sender).Tcp_stats.fast_retransmits
+
+let test_sender_timeout_go_back_n () =
+  let h = make_harness () in
+  Tahoe_sender.start h.sender;
+  Tahoe_sender.handle_ack h.sender ~ack:536;
+  Tahoe_sender.handle_ack h.sender ~ack:(2 * 536);
+  let nxt_before = Tahoe_sender.snd_nxt h.sender in
+  Alcotest.(check bool) "several outstanding" true (nxt_before > 2 * 536);
+  h.sent := [];
+  run_until h 60.0;
+  (* Timeout fires; the first retransmission is the lowest unacked
+     byte (go-back-N). *)
+  (match sent_seqs h with
+  | first :: _ -> Alcotest.(check int) "resend from snd_una" (2 * 536) first
+  | [] -> Alcotest.fail "expected retransmission");
+  Alcotest.(check bool) "timeout counted" true
+    ((Tahoe_sender.stats h.sender).Tcp_stats.timeouts >= 1);
+  (match !(h.sent) with
+  | (_, _, _, retx) :: _ -> ignore retx
+  | [] -> ());
+  Alcotest.(check bool) "retransmission flagged" true
+    (List.exists (fun (_, _, _, r) -> r) !(h.sent))
+
+let test_sender_timeout_backoff_doubles () =
+  let h = make_harness () in
+  Tahoe_sender.start h.sender;
+  run_until h 1000.0;
+  let stats = Tahoe_sender.stats h.sender in
+  Alcotest.(check bool) "several timeouts" true (stats.Tcp_stats.timeouts >= 3);
+  Alcotest.(check bool) "backoff engaged" true
+    (Rto.backoff_multiplier (Tahoe_sender.rto h.sender) >= 8)
+
+let test_sender_completion () =
+  let h = make_harness ~total:(3 * 536) () in
+  let completed = ref false in
+  Tahoe_sender.set_on_complete h.sender (fun () -> completed := true);
+  Tahoe_sender.start h.sender;
+  Tahoe_sender.handle_ack h.sender ~ack:536;
+  Tahoe_sender.handle_ack h.sender ~ack:(2 * 536);
+  Tahoe_sender.handle_ack h.sender ~ack:(3 * 536);
+  Alcotest.(check bool) "completed" true !completed;
+  Alcotest.(check bool) "flag set" true (Tahoe_sender.completed h.sender);
+  Alcotest.(check bool) "timer cancelled" false (Tahoe_sender.timer_pending h.sender);
+  (* Late acks are ignored. *)
+  Tahoe_sender.handle_ack h.sender ~ack:(3 * 536)
+
+let test_sender_karn_no_sample_on_retransmit () =
+  let h = make_harness () in
+  Tahoe_sender.start h.sender;
+  run_until h 60.0;
+  (* Only timeouts so far: no ack ever arrived, so no samples, and the
+     retransmissions must not have produced any. *)
+  Alcotest.(check int) "no rtt samples from retransmissions" 0
+    (Tahoe_sender.stats h.sender).Tcp_stats.rtt_samples;
+  Alcotest.(check int) "initial rto still in force (no samples)" 0
+    (Rto.samples (Tahoe_sender.rto h.sender))
+
+let test_sender_rtt_sampling () =
+  let h = make_harness () in
+  Tahoe_sender.start h.sender;
+  (* Deliver the ack half a second after the send. *)
+  ignore
+    (Simulator.schedule h.sim ~at:(Simtime.of_ns 500_000_000) (fun () ->
+         Tahoe_sender.handle_ack h.sender ~ack:536));
+  run_until h 1.0;
+  Alcotest.(check int) "one sample" 1
+    (Tahoe_sender.stats h.sender).Tcp_stats.rtt_samples;
+  (* 500 ms at a 100 ms tick: 1 + 5 ticks. *)
+  Alcotest.(check (float 1e-9)) "srtt in ticks" 6.0
+    (Rto.srtt_ticks (Tahoe_sender.rto h.sender))
+
+let test_sender_ebsn_resets_timer () =
+  let h = make_harness () in
+  Tahoe_sender.start h.sender;
+  (* Without EBSN the first timeout fires at ~3 s (30 ticks).  Feed an
+     EBSN just before each would-be expiry: no timeout ever fires. *)
+  for i = 1 to 10 do
+    ignore
+      (Simulator.schedule h.sim
+         ~at:(Simtime.of_ns (i * 2_500_000_000))
+         (fun () -> Tahoe_sender.handle_ebsn h.sender))
+  done;
+  run_until h 27.0;
+  Alcotest.(check int) "no timeouts while EBSNs flow" 0
+    (Tahoe_sender.stats h.sender).Tcp_stats.timeouts;
+  Alcotest.(check int) "ebsn counted" 10
+    (Tahoe_sender.stats h.sender).Tcp_stats.ebsns_received;
+  (* After the notifications stop, the timer eventually fires. *)
+  run_until h 60.0;
+  Alcotest.(check bool) "timeout after ebsn stream stops" true
+    ((Tahoe_sender.stats h.sender).Tcp_stats.timeouts > 0)
+
+let test_sender_ebsn_keeps_estimates () =
+  let h = make_harness () in
+  Tahoe_sender.start h.sender;
+  Tahoe_sender.handle_ack h.sender ~ack:536;
+  let srtt_before = Rto.srtt_ticks (Tahoe_sender.rto h.sender) in
+  let backoff_before = Rto.backoff_multiplier (Tahoe_sender.rto h.sender) in
+  Tahoe_sender.handle_ebsn h.sender;
+  Alcotest.(check (float 1e-9)) "srtt untouched" srtt_before
+    (Rto.srtt_ticks (Tahoe_sender.rto h.sender));
+  Alcotest.(check int) "backoff untouched" backoff_before
+    (Rto.backoff_multiplier (Tahoe_sender.rto h.sender));
+  Alcotest.(check bool) "timer still pending" true
+    (Tahoe_sender.timer_pending h.sender)
+
+let test_sender_quench_collapses_cwnd () =
+  let h = make_harness () in
+  Tahoe_sender.start h.sender;
+  Tahoe_sender.handle_ack h.sender ~ack:536;
+  Tahoe_sender.handle_ack h.sender ~ack:(2 * 536);
+  let ssthresh_before = Tahoe_sender.ssthresh_bytes h.sender in
+  Alcotest.(check bool) "cwnd above one segment" true
+    (Tahoe_sender.cwnd_bytes h.sender > 536);
+  Tahoe_sender.handle_quench h.sender;
+  Alcotest.(check int) "cwnd = 1 mss" 536 (Tahoe_sender.cwnd_bytes h.sender);
+  Alcotest.(check int) "ssthresh unchanged" ssthresh_before
+    (Tahoe_sender.ssthresh_bytes h.sender)
+
+let test_sender_availability_limits () =
+  let h = make_harness ~total:(10 * 536) () in
+  Tahoe_sender.restrict_available h.sender 536;
+  Tahoe_sender.start h.sender;
+  Tahoe_sender.handle_ack h.sender ~ack:536;
+  (* cwnd allows more, but only one segment of data exists. *)
+  Alcotest.(check int) "nothing beyond available" (1 * 536)
+    (Tahoe_sender.snd_nxt h.sender);
+  Tahoe_sender.set_available h.sender (3 * 536);
+  Alcotest.(check bool) "new data flows after set_available" true
+    (Tahoe_sender.snd_nxt h.sender > 536)
+
+let test_sender_short_final_segment () =
+  let h = make_harness ~total:(536 + 100) () in
+  Tahoe_sender.start h.sender;
+  Tahoe_sender.handle_ack h.sender ~ack:536;
+  let lens = List.rev_map (fun (_, _, len, _) -> len) !(h.sent) in
+  Alcotest.(check (list int)) "short tail segment" [ 536; 100 ] lens
+
+(* ------------------------------------------------------------------ *)
+(* Tcp_sink                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type sink_harness = {
+  ssim : Simulator.t;
+  sink : Tcp_sink.t;
+  acks : int list ref;
+}
+
+let make_sink ?(expected = 5 * 536) () =
+  let sim = Simulator.create () in
+  let acks = ref [] in
+  let ids = Ids.create () in
+  let sink =
+    Tcp_sink.create sim ~config:default_cfg ~conn:0 ~addr:(addr 2)
+      ~peer:(addr 0) ~expected_bytes:expected
+      ~alloc_id:(fun () -> Ids.next ids)
+      ~transmit:(fun pkt ->
+        match pkt.Packet.kind with
+        | Packet.Tcp_ack { ack; _ } -> acks := ack :: !acks
+        | Packet.Tcp_data _ | Packet.Ebsn _ | Packet.Source_quench _ -> ())
+  in
+  { ssim = sim; sink; acks }
+
+let test_sink_in_order () =
+  let h = make_sink () in
+  Tcp_sink.handle_data h.sink ~seq:0 ~length:536;
+  Tcp_sink.handle_data h.sink ~seq:536 ~length:536;
+  Alcotest.(check (list int)) "cumulative acks" [ 536; 2 * 536 ]
+    (List.rev !(h.acks));
+  Alcotest.(check int) "rcv_nxt" (2 * 536) (Tcp_sink.rcv_nxt h.sink)
+
+let test_sink_out_of_order_dupacks () =
+  let h = make_sink () in
+  Tcp_sink.handle_data h.sink ~seq:0 ~length:536;
+  (* Segment 1 lost; 2 and 3 arrive: duplicate acks for 536. *)
+  Tcp_sink.handle_data h.sink ~seq:(2 * 536) ~length:536;
+  Tcp_sink.handle_data h.sink ~seq:(3 * 536) ~length:536;
+  Alcotest.(check (list int)) "dupacks" [ 536; 536; 536 ] (List.rev !(h.acks));
+  (* The hole fills: the ack jumps over the buffered segments. *)
+  Tcp_sink.handle_data h.sink ~seq:536 ~length:536;
+  Alcotest.(check int) "ack jumps" (4 * 536) (Tcp_sink.rcv_nxt h.sink)
+
+let test_sink_duplicate_data () =
+  let h = make_sink () in
+  Tcp_sink.handle_data h.sink ~seq:0 ~length:536;
+  Tcp_sink.handle_data h.sink ~seq:0 ~length:536;
+  Alcotest.(check int) "duplicate counted" 1
+    (Tcp_sink.stats h.sink).Tcp_sink.duplicate_segments;
+  Alcotest.(check int) "still acked" 2 (Tcp_sink.stats h.sink).Tcp_sink.acks_sent
+
+let test_sink_completion () =
+  let h = make_sink ~expected:(2 * 536) () in
+  let completed = ref false in
+  Tcp_sink.set_on_complete h.sink (fun () -> completed := true);
+  Tcp_sink.handle_data h.sink ~seq:0 ~length:536;
+  Alcotest.(check bool) "not yet" false !completed;
+  Tcp_sink.handle_data h.sink ~seq:536 ~length:536;
+  Alcotest.(check bool) "completed" true !completed;
+  Alcotest.(check bool) "time recorded" true
+    (Tcp_sink.completion_time h.sink <> None);
+  Alcotest.(check int) "bytes delivered capped at expected" (2 * 536)
+    (Tcp_sink.stats h.sink).Tcp_sink.bytes_delivered
+
+let test_sink_overlapping_segments () =
+  let h = make_sink () in
+  (* Overlapping retransmission: [0,536) then [268,804). *)
+  Tcp_sink.handle_data h.sink ~seq:0 ~length:536;
+  Tcp_sink.handle_data h.sink ~seq:268 ~length:536;
+  Alcotest.(check int) "advances to the union" 804 (Tcp_sink.rcv_nxt h.sink)
+
+let prop_sink_any_arrival_order =
+  QCheck2.Test.make
+    ~name:"sink delivers exactly the expected bytes under any arrival order"
+    ~count:100
+    QCheck2.Gen.(
+      let n = 8 in
+      map (fun p -> p) (shuffle_l (List.init n Fun.id)))
+    (fun order ->
+      let h = make_sink ~expected:(8 * 536) () in
+      List.iter
+        (fun i -> Tcp_sink.handle_data h.sink ~seq:(i * 536) ~length:536)
+        order;
+      Tcp_sink.rcv_nxt h.sink = 8 * 536 && Tcp_sink.completed h.sink)
+
+(* ------------------------------------------------------------------ *)
+(* Bulk_app                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_bulk_throughput_metric () =
+  (* 100 segments of 536 payload + 40 header in 10 s. *)
+  let tput =
+    Bulk_app.throughput_bps ~config:default_cfg ~file_bytes:(100 * 536)
+      ~duration:(Simtime.span_sec 10.0)
+  in
+  let expected = float_of_int (8 * ((100 * 536) + (100 * 40))) /. 10.0 in
+  Alcotest.(check (float 1e-6)) "counts headers" expected tput
+
+let test_bulk_result_requires_completion () =
+  let h = make_sink () in
+  let sender_h = make_harness () in
+  Alcotest.check_raises "incomplete"
+    (Invalid_argument "Bulk_app.result: transfer not complete") (fun () ->
+      ignore
+        (Bulk_app.result ~config:default_cfg ~sender:sender_h.sender
+           ~sink:h.sink ~file_bytes:(5 * 536) ~start_time:Simtime.zero))
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "tcp"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "packet size" `Quick test_config_packet_size;
+          Alcotest.test_case "validation" `Quick test_config_validation;
+        ] );
+      ( "rto",
+        [
+          Alcotest.test_case "initial" `Quick test_rto_initial;
+          Alcotest.test_case "first sample" `Quick test_rto_first_sample;
+          Alcotest.test_case "converges" `Quick test_rto_converges;
+          Alcotest.test_case "backoff" `Quick test_rto_backoff_doubles_and_caps;
+          Alcotest.test_case "min enforced" `Quick test_rto_min_enforced;
+          qc prop_rto_within_bounds;
+        ] );
+      ( "tahoe_sender",
+        [
+          Alcotest.test_case "slow start" `Quick test_sender_slow_start_growth;
+          Alcotest.test_case "window limited" `Quick test_sender_window_limited;
+          Alcotest.test_case "congestion avoidance" `Quick
+            test_sender_congestion_avoidance;
+          Alcotest.test_case "fast retransmit" `Quick test_sender_fast_retransmit;
+          Alcotest.test_case "timeout go-back-n" `Quick
+            test_sender_timeout_go_back_n;
+          Alcotest.test_case "timeout backoff" `Quick
+            test_sender_timeout_backoff_doubles;
+          Alcotest.test_case "completion" `Quick test_sender_completion;
+          Alcotest.test_case "karn" `Quick test_sender_karn_no_sample_on_retransmit;
+          Alcotest.test_case "rtt sampling" `Quick test_sender_rtt_sampling;
+          Alcotest.test_case "ebsn resets timer" `Quick
+            test_sender_ebsn_resets_timer;
+          Alcotest.test_case "ebsn keeps estimates" `Quick
+            test_sender_ebsn_keeps_estimates;
+          Alcotest.test_case "quench collapses cwnd" `Quick
+            test_sender_quench_collapses_cwnd;
+          Alcotest.test_case "availability" `Quick test_sender_availability_limits;
+          Alcotest.test_case "short final segment" `Quick
+            test_sender_short_final_segment;
+        ] );
+      ( "tcp_sink",
+        [
+          Alcotest.test_case "in order" `Quick test_sink_in_order;
+          Alcotest.test_case "out of order dupacks" `Quick
+            test_sink_out_of_order_dupacks;
+          Alcotest.test_case "duplicate data" `Quick test_sink_duplicate_data;
+          Alcotest.test_case "completion" `Quick test_sink_completion;
+          Alcotest.test_case "overlapping segments" `Quick
+            test_sink_overlapping_segments;
+          qc prop_sink_any_arrival_order;
+        ] );
+      ( "bulk_app",
+        [
+          Alcotest.test_case "throughput metric" `Quick test_bulk_throughput_metric;
+          Alcotest.test_case "requires completion" `Quick
+            test_bulk_result_requires_completion;
+        ] );
+    ]
