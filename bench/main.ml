@@ -1,10 +1,13 @@
 (* Benchmark harness: regenerates every table and figure of the
    paper's evaluation plus the ablations from DESIGN.md.
 
-   Usage: main.exe [target ...] [reps=N] [csv=DIR]
+   Usage: main.exe [target ...] [reps=N] [jobs=N] [csv=DIR]
 
    With csv=DIR each figure target also writes its data as
-   DIR/<figure>.csv for external plotting.
+   DIR/<figure>.csv for external plotting.  jobs=N fans the
+   replications of every sweep point across N OCaml domains (default:
+   the host's recommended domain count minus one, at least 1); the
+   seed schedule is unchanged, so output is byte-identical at any N.
 
    Targets: figs (Figures 3-5), fig7, fig8, fig9, fig10, fig11,
    advisor (the §4.1 packet-size table), goodput, ablation-schemes,
@@ -12,9 +15,11 @@
    ablation-window-tcp, ablation-rearm, ablation-pacing,
    ablation-flavor, ablation-delack, ablation-congestion,
    ablation-sched, ablation-handoff, micro (Bechamel engine
-   micro-benchmarks).  No target runs everything. *)
+   micro-benchmarks), parallel (sequential vs parallel wall-clock,
+   recorded in BENCH_parallel.json).  No target runs everything. *)
 
 let replications = ref 10
+let jobs = ref (Core.Parallel.default_jobs ())
 let csv_dir : string option ref = ref None
 
 let write_csv name contents =
@@ -39,46 +44,52 @@ let section body =
 let figs () = section (Core.Fig_traces.render_all ())
 
 let fig7 () =
-  section (Core.Fig7.render ~replications:!replications ());
+  section (Core.Fig7.render ~replications:!replications ~jobs:!jobs ());
   if !csv_dir <> None then
     write_csv "fig7"
-      (Core.Wan_sweep.to_csv (Core.Fig7.compute ~replications:!replications ()))
+      (Core.Wan_sweep.to_csv
+         (Core.Fig7.compute ~replications:!replications ~jobs:!jobs ()))
 
 let fig8 () =
-  section (Core.Fig8.render ~replications:!replications ());
+  section (Core.Fig8.render ~replications:!replications ~jobs:!jobs ());
   if !csv_dir <> None then
     write_csv "fig8"
-      (Core.Wan_sweep.to_csv (Core.Fig8.compute ~replications:!replications ()))
+      (Core.Wan_sweep.to_csv
+         (Core.Fig8.compute ~replications:!replications ~jobs:!jobs ()))
 
 let fig9 () =
-  section (Core.Fig9.render ~replications:!replications ());
+  section (Core.Fig9.render ~replications:!replications ~jobs:!jobs ());
   if !csv_dir <> None then begin
     write_csv "fig9a"
       (Core.Wan_sweep.to_csv
-         (Core.Fig9.compute_basic ~replications:!replications ()));
+         (Core.Fig9.compute_basic ~replications:!replications ~jobs:!jobs ()));
     write_csv "fig9b"
       (Core.Wan_sweep.to_csv
-         (Core.Fig9.compute_ebsn ~replications:!replications ()))
+         (Core.Fig9.compute_ebsn ~replications:!replications ~jobs:!jobs ()))
   end
 
 let fig10 () =
-  section (Core.Fig10.render ~replications:!replications ());
+  section (Core.Fig10.render ~replications:!replications ~jobs:!jobs ());
   if !csv_dir <> None then begin
-    let basic, ebsn = Core.Fig10.compute ~replications:!replications () in
+    let basic, ebsn =
+      Core.Fig10.compute ~replications:!replications ~jobs:!jobs ()
+    in
     write_csv "fig10" (Core.Lan_sweep.to_csv [ basic; ebsn ])
   end
 
 let fig11 () =
-  section (Core.Fig11.render ~replications:!replications ());
+  section (Core.Fig11.render ~replications:!replications ~jobs:!jobs ());
   if !csv_dir <> None then begin
-    let basic, ebsn = Core.Fig11.compute ~replications:!replications () in
+    let basic, ebsn =
+      Core.Fig11.compute ~replications:!replications ~jobs:!jobs ()
+    in
     write_csv "fig11" (Core.Lan_sweep.to_csv [ basic; ebsn ])
   end
 
 let advisor () =
   let table =
     Core.Packet_size_advisor.build_table ~replications:!replications
-      ~mean_bad_secs:[ 1.0; 2.0; 3.0; 4.0 ] ()
+      ~jobs:!jobs ~mean_bad_secs:[ 1.0; 2.0; 3.0; 4.0 ] ()
   in
   let rows =
     List.map
@@ -111,23 +122,28 @@ let advisor () =
 (* ------------------------------------------------------------------ *)
 
 let r () = !replications
+let j () = !jobs
 
-let ablation_schemes () = section (Core.Ablations.schemes ~replications:(r ()) ())
-let ablation_quench () = section (Core.Ablations.quench ~replications:(r ()) ())
+let ablation_schemes () =
+  section (Core.Ablations.schemes ~replications:(r ()) ~jobs:(j ()) ())
+
+let ablation_quench () =
+  section (Core.Ablations.quench ~replications:(r ()) ~jobs:(j ()) ())
 
 let ablation_tick () =
-  section (Core.Ablations.tick_granularity ~replications:(r ()) ())
+  section (Core.Ablations.tick_granularity ~replications:(r ()) ~jobs:(j ()) ())
 
-let ablation_rtmax () = section (Core.Ablations.rt_max ~replications:(r ()) ())
+let ablation_rtmax () =
+  section (Core.Ablations.rt_max ~replications:(r ()) ~jobs:(j ()) ())
 
 let ablation_window () =
-  section (Core.Ablations.arq_window ~replications:(r ()) ())
+  section (Core.Ablations.arq_window ~replications:(r ()) ~jobs:(j ()) ())
 
 let ablation_pacing () =
-  section (Core.Ablations.ebsn_pacing ~replications:(r ()) ())
+  section (Core.Ablations.ebsn_pacing ~replications:(r ()) ~jobs:(j ()) ())
 
 let ablation_tcp_window () =
-  section (Core.Ablations.tcp_window ~replications:(r ()) ())
+  section (Core.Ablations.tcp_window ~replications:(r ()) ~jobs:(j ()) ())
 
 let goodput () =
   section
@@ -137,27 +153,27 @@ let goodput () =
            ~title:"Goodput vs packet size — basic TCP (wide area)"
            ~note:"paper metric: useful data delivered / data transmitted"
            ~unit_label:"goodput (fraction, mean over replications)"
-           (Core.Wan_sweep.compute ~replications:!replications
+           (Core.Wan_sweep.compute ~replications:!replications ~jobs:!jobs
               ~scheme:Core.Scenario.Basic ~metric:Core.Sweep.goodput ());
          Core.Wan_sweep.render_metric
            ~title:"Goodput vs packet size — TCP with EBSN (wide area)"
            ~note:"paper: goodput with EBSN is ~100% at every size"
            ~unit_label:"goodput (fraction, mean over replications)"
-           (Core.Wan_sweep.compute ~replications:!replications
+           (Core.Wan_sweep.compute ~replications:!replications ~jobs:!jobs
               ~scheme:Core.Scenario.Ebsn ~metric:Core.Sweep.goodput ());
        ])
 
 let ablation_rearm () =
-  section (Core.Ablations.ebsn_rearm ~replications:(r ()) ())
+  section (Core.Ablations.ebsn_rearm ~replications:(r ()) ~jobs:(j ()) ())
 
 let ablation_flavor () =
-  section (Core.Ablations.flavor ~replications:(r ()) ())
+  section (Core.Ablations.flavor ~replications:(r ()) ~jobs:(j ()) ())
 
 let ablation_delack () =
-  section (Core.Ablations.delayed_ack ~replications:(r ()) ())
+  section (Core.Ablations.delayed_ack ~replications:(r ()) ~jobs:(j ()) ())
 
 let ablation_congestion () =
-  section (Core.Ablations.congestion ~replications:(r ()) ())
+  section (Core.Ablations.congestion ~replications:(r ()) ~jobs:(j ()) ())
 
 let ablation_sched () = section (Core.Csdp.render ())
 let ablation_handoff () = section (Core.Handoff.render ())
@@ -243,6 +259,69 @@ let micro () =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* Sequential vs parallel wall-clock                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Times the Figure 7 sweep (48 points × reps replications) at jobs=1
+   and jobs=N, checks the outputs are byte-identical, and records the
+   speedup in BENCH_parallel.json so the perf trajectory is tracked
+   across PRs. *)
+let parallel_bench () =
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let y = f () in
+    (y, Unix.gettimeofday () -. t0)
+  in
+  let compute jobs =
+    Core.Wan_sweep.to_csv
+      (Core.Fig7.compute ~replications:!replications ~jobs ())
+  in
+  let seq_csv, seq_sec = timed (fun () -> compute 1) in
+  let par_csv, par_sec = timed (fun () -> compute !jobs) in
+  let identical = seq_csv = par_csv in
+  let speedup = if par_sec > 0.0 then seq_sec /. par_sec else 0.0 in
+  let cores = Domain.recommended_domain_count () in
+  section
+    (String.concat "\n"
+       [
+         Core.Report.heading "Parallel replication engine — wall-clock";
+         Core.Report.table
+           ~columns:[ "config"; "wall-clock"; "speedup" ]
+           ~rows:
+             [
+               [ "jobs=1"; Printf.sprintf "%.3f s" seq_sec; "1.00x" ];
+               [
+                 Printf.sprintf "jobs=%d" !jobs;
+                 Printf.sprintf "%.3f s" par_sec;
+                 Printf.sprintf "%.2fx" speedup;
+               ];
+             ];
+         Core.Report.note
+           (Printf.sprintf "fig7 sweep, reps=%d, %d recommended domain(s); \
+                            outputs byte-identical: %b"
+              !replications cores identical);
+       ]);
+  let oc = open_out "BENCH_parallel.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"target\": \"fig7\",\n\
+    \  \"replications\": %d,\n\
+    \  \"jobs\": %d,\n\
+    \  \"recommended_domains\": %d,\n\
+    \  \"sequential_sec\": %.3f,\n\
+    \  \"parallel_sec\": %.3f,\n\
+    \  \"speedup\": %.3f,\n\
+    \  \"outputs_identical\": %b\n\
+     }\n"
+    !replications !jobs cores seq_sec par_sec speedup identical;
+  close_out oc;
+  print_endline "wrote BENCH_parallel.json";
+  if not identical then begin
+    prerr_endline "FAIL: parallel output differs from sequential";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let targets =
   [
@@ -268,28 +347,43 @@ let targets =
     ("ablation-sched", ablation_sched);
     ("ablation-handoff", ablation_handoff);
     ("micro", micro);
+    ("parallel", parallel_bench);
   ]
 
-let flag_prefixes = [ "reps="; "csv=" ]
+let usage () =
+  Printf.eprintf
+    "usage: main.exe [target ...] [reps=N] [jobs=N] [csv=DIR]\n\
+     targets: %s\n"
+    (String.concat ", " (List.map fst targets));
+  exit 2
 
-let is_flag a =
-  List.exists
-    (fun p -> String.length a > String.length p && String.sub a 0 (String.length p) = p)
-    flag_prefixes
+let int_flag ~key value =
+  match int_of_string_opt value with
+  | Some n when n >= 1 -> n
+  | Some _ | None ->
+    Printf.eprintf "%s=%s: expected a positive integer\n" key value;
+    usage ()
+
+let set_flag flag =
+  match String.index_opt flag '=' with
+  | None -> assert false (* flags are exactly the '='-carrying args *)
+  | Some i ->
+    let key = String.sub flag 0 i in
+    let value = String.sub flag (i + 1) (String.length flag - i - 1) in
+    (match key with
+    | "reps" -> replications := int_flag ~key value
+    | "jobs" -> jobs := int_flag ~key value
+    | "csv" -> csv_dir := Some value
+    | _ ->
+      Printf.eprintf "unknown flag %S\n" flag;
+      usage ())
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let named, flags = List.partition (fun a -> not (is_flag a)) args in
-  List.iter
-    (fun flag ->
-      match String.index_opt flag '=' with
-      | Some i ->
-        let key = String.sub flag 0 i in
-        let value = String.sub flag (i + 1) (String.length flag - i - 1) in
-        if key = "reps" then replications := int_of_string value
-        else if key = "csv" then csv_dir := Some value
-      | None -> ())
-    flags;
+  let named, flags =
+    List.partition (fun a -> not (String.contains a '=')) args
+  in
+  List.iter set_flag flags;
   let to_run = match named with [] -> List.map fst targets | names -> names in
   List.iter
     (fun name ->

@@ -94,6 +94,16 @@ let file_arg =
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Core.Parallel.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Domains to fan replications across (default: the host's \
+           recommended domain count minus one, at least 1).  The seed \
+           schedule is unchanged, so results are identical at any $(docv).")
+
 let verbose_arg =
   Arg.(
     value & flag
@@ -265,9 +275,10 @@ let advisor_cmd =
       value & opt int 5
       & info [ "replications" ] ~docv:"N" ~doc:"Runs per data point.")
   in
-  let action bads replications =
+  let action bads replications jobs =
     let table =
-      Core.Packet_size_advisor.build_table ~replications ~mean_bad_secs:bads ()
+      Core.Packet_size_advisor.build_table ~replications ~jobs
+        ~mean_bad_secs:bads ()
     in
     print_endline "bad(s)  best packet size  throughput";
     List.iter
@@ -282,7 +293,7 @@ let advisor_cmd =
   Cmd.v
     (Cmd.info "advisor"
        ~doc:"Build the base station's packet-size table (paper §4.1)")
-    Term.(const action $ bads_arg $ reps_arg)
+    Term.(const action $ bads_arg $ reps_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* theory                                                              *)
@@ -313,7 +324,7 @@ let compare_cmd =
       value & opt int 5
       & info [ "replications" ] ~docv:"N" ~doc:"Runs per scheme.")
   in
-  let action preset packet_size bad good file seed replications =
+  let action preset packet_size bad good file seed replications jobs =
     Printf.printf "%-16s %10s %9s %9s %9s\n" "scheme" "tput kbps" "goodput"
       "retx KB" "timeouts";
     List.iter
@@ -321,9 +332,9 @@ let compare_cmd =
         let scenario =
           build_scenario preset scheme packet_size bad good file seed false
         in
+        let measurements = Core.Sweep.measurements ~replications ~jobs scenario in
         let metric f =
-          (Core.Sweep.replicate ~replications scenario ~metric:f)
-            .Core.Summary.mean
+          (Core.Summary.of_list (List.map f measurements)).Core.Summary.mean
         in
         Printf.printf "%-16s %10.2f %9.3f %9.1f %9.1f\n"
           (Core.Scenario.scheme_name scheme)
@@ -337,7 +348,7 @@ let compare_cmd =
     (Cmd.info "compare" ~doc:"All recovery schemes side by side")
     Term.(
       const action $ preset_arg $ packet_size_arg $ bad_arg $ good_arg
-      $ file_arg $ seed_arg $ reps_arg)
+      $ file_arg $ seed_arg $ reps_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* handoff                                                             *)

@@ -24,6 +24,7 @@ module Rng = Sim_engine.Rng
 module Event_queue = Sim_engine.Event_queue
 module Simulator = Sim_engine.Simulator
 module Slog = Sim_engine.Slog
+module Parallel = Sim_engine.Parallel
 
 (** {1 Network substrate} *)
 

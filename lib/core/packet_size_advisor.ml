@@ -10,22 +10,22 @@ type entry = {
 let default_candidates =
   [ 128; 256; 384; 512; 640; 768; 896; 1024; 1152; 1280; 1408; 1536 ]
 
-let evaluate ?replications ?(candidates = default_candidates) ~mean_bad_sec ()
+let evaluate ?replications ?jobs ?(candidates = default_candidates) ~mean_bad_sec ()
     =
   if candidates = [] then invalid_arg "Packet_size_advisor: no candidates";
+  let summaries =
+    Experiments.Sweep.replicate_all ?replications ?jobs
+      (List.map
+         (fun size ->
+           Scenario.wan ~scheme:Scenario.Basic ~packet_size:size ~mean_bad_sec
+             ())
+         candidates)
+      ~metric:Experiments.Sweep.throughput
+  in
   let sweep =
-    List.map
-      (fun size ->
-        let scenario =
-          Scenario.wan ~scheme:Scenario.Basic ~packet_size:size ~mean_bad_sec
-            ()
-        in
-        let summary =
-          Experiments.Sweep.replicate ?replications scenario
-            ~metric:Experiments.Sweep.throughput
-        in
-        (size, summary.Metrics.Summary.mean))
-      candidates
+    List.map2
+      (fun size summary -> (size, summary.Metrics.Summary.mean))
+      candidates summaries
   in
   let best_size, best_throughput_bps =
     List.fold_left
@@ -44,10 +44,10 @@ let evaluate ?replications ?(candidates = default_candidates) ~mean_bad_sec ()
     },
     sweep )
 
-let build_table ?replications ?candidates ~mean_bad_secs () =
+let build_table ?replications ?jobs ?candidates ~mean_bad_secs () =
   List.map
     (fun mean_bad_sec ->
-      fst (evaluate ?replications ?candidates ~mean_bad_sec ()))
+      fst (evaluate ?replications ?jobs ?candidates ~mean_bad_sec ()))
     mean_bad_secs
 
 let lookup table ~mean_bad_sec =

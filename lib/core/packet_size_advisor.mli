@@ -20,6 +20,7 @@ val default_candidates : int list
 
 val evaluate :
   ?replications:int ->
+  ?jobs:int ->
   ?candidates:int list ->
   mean_bad_sec:float ->
   unit ->
@@ -30,6 +31,7 @@ val evaluate :
 
 val build_table :
   ?replications:int ->
+  ?jobs:int ->
   ?candidates:int list ->
   mean_bad_secs:float list ->
   unit ->

@@ -25,35 +25,48 @@ let entry_before a b =
   | 0 -> a.order < b.order
   | c -> c < 0
 
-let swap t i j =
-  let tmp = t.heap.(i) in
-  t.heap.(i) <- t.heap.(j);
-  t.heap.(j) <- tmp
-
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if entry_before t.heap.(i) t.heap.(parent) then begin
-      swap t i parent;
-      sift_up t parent
+(* Both sifts use hole insertion: the moving entry is held aside
+   while displaced entries slide into the hole one write each, and
+   the held entry is written once at its final slot — half the array
+   writes of the classic swap formulation on the simulator's hottest
+   path.  The comparison order is unchanged, so the heap layout (and
+   hence pop order) is identical to the swap-based version. *)
+let sift_up t i =
+  let entry = t.heap.(i) in
+  let i = ref i in
+  let moving = ref true in
+  while !moving && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if entry_before entry t.heap.(parent) then begin
+      t.heap.(!i) <- t.heap.(parent);
+      i := parent
     end
-  end
+    else moving := false
+  done;
+  t.heap.(!i) <- entry
 
-let rec sift_down t i =
-  let left = (2 * i) + 1 and right = (2 * i) + 2 in
-  let smallest = i in
-  let smallest =
-    if left < t.size && entry_before t.heap.(left) t.heap.(smallest) then left
-    else smallest
-  in
-  let smallest =
-    if right < t.size && entry_before t.heap.(right) t.heap.(smallest) then right
-    else smallest
-  in
-  if smallest <> i then begin
-    swap t i smallest;
-    sift_down t smallest
-  end
+let sift_down t i =
+  let entry = t.heap.(i) in
+  let i = ref i in
+  let moving = ref true in
+  while !moving do
+    let left = (2 * !i) + 1 in
+    if left >= t.size then moving := false
+    else begin
+      let right = left + 1 in
+      let child =
+        if right < t.size && entry_before t.heap.(right) t.heap.(left) then
+          right
+        else left
+      in
+      if entry_before t.heap.(child) entry then begin
+        t.heap.(!i) <- t.heap.(child);
+        i := child
+      end
+      else moving := false
+    end
+  done;
+  t.heap.(!i) <- entry
 
 let grow t entry =
   let capacity = Array.length t.heap in

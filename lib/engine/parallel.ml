@@ -1,0 +1,41 @@
+let default_jobs () = Stdlib.max 1 (Domain.recommended_domain_count () - 1)
+
+type 'b slot =
+  | Pending
+  | Done of 'b
+  | Failed of exn * Printexc.raw_backtrace
+
+(* Work stealing off a shared atomic cursor: domains grab the next
+   unclaimed index until the input is exhausted.  Each slot is written
+   by exactly one domain and read only after every domain has been
+   joined, so the array needs no further synchronisation. *)
+let pooled_map ~jobs f input =
+  let n = Array.length input in
+  let results = Array.make n Pending in
+  let next = Atomic.make 0 in
+  let rec worker () =
+    let i = Atomic.fetch_and_add next 1 in
+    if i < n then begin
+      results.(i) <-
+        (match f input.(i) with
+        | y -> Done y
+        | exception e -> Failed (e, Printexc.get_raw_backtrace ()));
+      worker ()
+    end
+  in
+  (* The caller is one of the [jobs] workers, so spawn [jobs - 1]. *)
+  let helpers = List.init (Stdlib.min (jobs - 1) (n - 1)) (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join helpers;
+  Array.map
+    (function
+      | Done y -> y
+      | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+      | Pending -> assert false)
+    results
+
+let map ~jobs f = function
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | xs when jobs <= 1 -> List.map f xs
+  | xs -> Array.to_list (pooled_map ~jobs f (Array.of_list xs))

@@ -1,0 +1,30 @@
+(** Work-pool parallelism over OCaml 5 domains.
+
+    Replications of a sweep are independent by construction (each
+    seed owns its splitmix64 stream), so they can be fanned out
+    across domains without changing any result: [map] preserves
+    input order, which keeps the seed schedule — and therefore every
+    measurement list — bit-identical to a sequential run at any
+    [jobs].
+
+    Domains are spawned per call and joined before it returns; there
+    is no hidden global pool, so nesting [map] inside a mapped
+    function is safe (the inner call just runs sequentially when
+    given [jobs:1], which is what the experiment stack does). *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count () - 1], clamped to at least 1.
+    One domain is reserved for the caller, which also works as part
+    of the pool. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] is [List.map f xs], computed by up to [jobs]
+    domains (including the calling one).  Input order is preserved.
+    When [jobs <= 1] or the list has fewer than two elements this is
+    exactly [List.map f xs] on the current domain.
+
+    If any [f x] raises, the exception for the smallest such index
+    is re-raised in the caller with its original backtrace, after
+    every domain has been joined.  [f] must be safe to run on
+    multiple domains at once (the simulator's runs are: all their
+    state is per-run). *)

@@ -2,29 +2,39 @@ open Topology
 
 let base_scenario () = Scenario.wan ~packet_size:576 ~mean_bad_sec:4.0 ()
 
-let measure_row ?replications label scenario =
-  (* One set of runs, all four metrics extracted from it. *)
-  let measurements = Sweep.measurements ?replications scenario in
-  let mean metric =
-    (Metrics.Summary.of_list (List.map metric measurements))
-      .Metrics.Summary.mean
+(* One set of runs per row, all four metrics extracted from it; the
+   whole table's (row × seed) matrix fans out across one domain
+   pool. *)
+let measured_rows ?replications ?jobs specs =
+  let per_row =
+    Sweep.measurements_all ?replications ?jobs (List.map snd specs)
   in
-  [
-    label;
-    Report.kbps (mean Sweep.throughput);
-    Report.fixed 3 (mean Sweep.goodput);
-    Report.fixed 1 (mean Sweep.retransmitted_kbytes);
-    Report.fixed 1 (mean Sweep.timeouts);
-  ]
+  List.map2
+    (fun (label, _) measurements ->
+      let mean metric =
+        (Metrics.Summary.of_list (List.map metric measurements))
+          .Metrics.Summary.mean
+      in
+      [
+        label;
+        Report.kbps (mean Sweep.throughput);
+        Report.fixed 3 (mean Sweep.goodput);
+        Report.fixed 1 (mean Sweep.retransmitted_kbytes);
+        Report.fixed 1 (mean Sweep.timeouts);
+      ])
+    specs per_row
+
+let spec label scenario = (label, scenario)
 
 let standard_columns =
   [ "variant"; "tput kbps"; "goodput"; "retx KB"; "timeouts" ]
 
-let schemes ?replications () =
+let schemes ?replications ?jobs () =
   let rows =
-    List.map
+    measured_rows ?replications ?jobs
+    @@ List.map
       (fun scheme ->
-        measure_row ?replications
+        spec
           (Scenario.scheme_name scheme)
           (Scenario.with_scheme (base_scenario ()) scheme))
       Scenario.all_schemes
@@ -39,18 +49,19 @@ let schemes ?replications () =
          does not and also eliminates source timeouts";
     ]
 
-let quench ?replications () =
+let quench ?replications ?jobs () =
   let schemes =
     [
       Scenario.Basic; Scenario.Local_recovery; Scenario.Quench; Scenario.Ebsn;
     ]
   in
   let rows =
-    List.concat_map
+    measured_rows ?replications ?jobs
+    @@ List.concat_map
       (fun bad ->
         List.map
           (fun scheme ->
-            measure_row ?replications
+            spec
               (Printf.sprintf "%s bad=%.0fs" (Scenario.scheme_name scheme) bad)
               (Scenario.wan ~scheme ~mean_bad_sec:bad ()))
           schemes)
@@ -82,13 +93,13 @@ let with_tick scenario ms =
       };
   }
 
-let tick_granularity ?replications () =
+let tick_granularity ?replications ?jobs () =
   let rows_for base label =
     List.concat_map
       (fun scheme ->
         List.map
           (fun ms ->
-            measure_row ?replications
+            spec
               (Printf.sprintf "%s %s tick=%dms" label
                  (Scenario.scheme_name scheme) ms)
               (with_tick (Scenario.with_scheme base scheme) ms))
@@ -100,7 +111,8 @@ let tick_granularity ?replications () =
      (§4.2.4, "a TCP source is more susceptible to timeouts during
      local recovery when round-trip times are very small"). *)
   let rows =
-    rows_for (base_scenario ()) "wan"
+    measured_rows ?replications ?jobs
+    @@ rows_for (base_scenario ()) "wan"
     @ rows_for (Scenario.lan ~mean_bad_sec:1.2 ()) "lan"
   in
   String.concat "\n"
@@ -118,11 +130,12 @@ let tick_granularity ?replications () =
 let with_rt_max scenario n =
   { scenario with Scenario.arq = { scenario.Scenario.arq with Link_arq.Arq.rt_max = n } }
 
-let rt_max ?replications () =
+let rt_max ?replications ?jobs () =
   let rows =
-    List.map
+    measured_rows ?replications ?jobs
+    @@ List.map
       (fun n ->
-        measure_row ?replications
+        spec
           (Printf.sprintf "rt_max=%d" n)
           (with_rt_max
              (Scenario.with_scheme (base_scenario ()) Scenario.Ebsn)
@@ -141,11 +154,12 @@ let rt_max ?replications () =
 let with_window scenario w =
   { scenario with Scenario.arq = { scenario.Scenario.arq with Link_arq.Arq.window = w } }
 
-let arq_window ?replications () =
+let arq_window ?replications ?jobs () =
   let rows =
-    List.map
+    measured_rows ?replications ?jobs
+    @@ List.map
       (fun w ->
-        measure_row ?replications
+        spec
           (Printf.sprintf "window=%d%s" w
              (if w = 1 then " (stop-and-wait)" else ""))
           (with_window
@@ -165,7 +179,7 @@ let arq_window ?replications () =
 let with_pacing scenario pacing =
   { scenario with Scenario.ebsn_pacing = pacing }
 
-let ebsn_pacing ?replications () =
+let ebsn_pacing ?replications ?jobs () =
   let variants =
     [
       ("every attempt (paper)", Feedback.Ebsn.Every_attempt);
@@ -176,9 +190,10 @@ let ebsn_pacing ?replications () =
     ]
   in
   let rows =
-    List.map
+    measured_rows ?replications ?jobs
+    @@ List.map
       (fun (label, pacing) ->
-        measure_row ?replications label
+        spec label
           (with_pacing
              (Scenario.with_scheme (base_scenario ()) Scenario.Ebsn)
              pacing))
@@ -200,13 +215,14 @@ let with_tcp_window scenario bytes =
       { scenario.Scenario.tcp with Tcp_tahoe.Tcp_config.window = bytes };
   }
 
-let tcp_window ?replications () =
+let tcp_window ?replications ?jobs () =
   let rows =
-    List.concat_map
+    measured_rows ?replications ?jobs
+    @@ List.concat_map
       (fun scheme ->
         List.map
           (fun kb ->
-            measure_row ?replications
+            spec
               (Printf.sprintf "%s window=%dKB" (Scenario.scheme_name scheme) kb)
               (with_tcp_window
                  (Scenario.with_scheme (base_scenario ()) scheme)
@@ -232,11 +248,12 @@ let with_rearm scenario scale =
       { scenario.Scenario.tcp with Tcp_tahoe.Tcp_config.ebsn_rearm_scale = scale };
   }
 
-let ebsn_rearm ?replications () =
+let ebsn_rearm ?replications ?jobs () =
   let rows =
-    List.map
+    measured_rows ?replications ?jobs
+    @@ List.map
       (fun scale ->
-        measure_row ?replications
+        spec
           (Printf.sprintf "rearm scale %.2f%s" scale
              (if scale = 1.0 then " (paper)" else ""))
           (with_rearm
@@ -261,13 +278,14 @@ let with_flavor scenario flavor =
     Scenario.tcp = { scenario.Scenario.tcp with Tcp_tahoe.Tcp_config.flavor };
   }
 
-let flavor ?replications () =
+let flavor ?replications ?jobs () =
   let rows =
-    List.concat_map
+    measured_rows ?replications ?jobs
+    @@ List.concat_map
       (fun scheme ->
         List.map
           (fun fl ->
-            measure_row ?replications
+            spec
               (Printf.sprintf "%s %s" (Scenario.scheme_name scheme)
                  (Tcp_tahoe.Tcp_config.flavor_name fl))
               (with_flavor (Scenario.with_scheme (base_scenario ()) scheme) fl))
@@ -294,13 +312,14 @@ let with_delack scenario on =
       { scenario.Scenario.tcp with Tcp_tahoe.Tcp_config.delayed_ack = on };
   }
 
-let delayed_ack ?replications () =
+let delayed_ack ?replications ?jobs () =
   let rows =
-    List.concat_map
+    measured_rows ?replications ?jobs
+    @@ List.concat_map
       (fun scheme ->
         List.map
           (fun on ->
-            measure_row ?replications
+            spec
               (Printf.sprintf "%s delack=%b" (Scenario.scheme_name scheme) on)
               (with_delack (Scenario.with_scheme (base_scenario ()) scheme) on))
           [ false; true ])
@@ -333,13 +352,14 @@ let with_cross_down scenario fraction =
              { rate = Netsim.Units.bps rate_bps; packet_bytes = 576 });
     }
 
-let congestion ?replications () =
+let congestion ?replications ?jobs () =
   let rows =
-    List.concat_map
+    measured_rows ?replications ?jobs
+    @@ List.concat_map
       (fun scheme ->
         List.map
           (fun fraction ->
-            measure_row ?replications
+            spec
               (Printf.sprintf "%s reverse load %.0f%%"
                  (Scenario.scheme_name scheme) (100.0 *. fraction))
               (with_cross_down
@@ -359,19 +379,19 @@ let congestion ?replications () =
          the load, at 110% the queue overflows and acks/EBSNs are lost";
     ]
 
-let render_all ?replications () =
+let render_all ?replications ?jobs () =
   String.concat "\n\n"
     [
-      schemes ?replications ();
-      quench ?replications ();
-      tick_granularity ?replications ();
-      rt_max ?replications ();
-      arq_window ?replications ();
-      ebsn_pacing ?replications ();
-      ebsn_rearm ?replications ();
-      tcp_window ?replications ();
-      flavor ?replications ();
-      delayed_ack ?replications ();
-      congestion ?replications ();
+      schemes ?replications ?jobs ();
+      quench ?replications ?jobs ();
+      tick_granularity ?replications ?jobs ();
+      rt_max ?replications ?jobs ();
+      arq_window ?replications ?jobs ();
+      ebsn_pacing ?replications ?jobs ();
+      ebsn_rearm ?replications ?jobs ();
+      tcp_window ?replications ?jobs ();
+      flavor ?replications ?jobs ();
+      delayed_ack ?replications ?jobs ();
+      congestion ?replications ?jobs ();
       Csdp.render ();
     ]

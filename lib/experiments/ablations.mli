@@ -3,51 +3,51 @@
     Each renders a table; all use the wide-area setup with 576-byte
     packets and mean bad period 4 s unless stated. *)
 
-val schemes : ?replications:int -> unit -> string
+val schemes : ?replications:int -> ?jobs:int -> unit -> string
 (** All six recovery schemes side by side (throughput, goodput,
     retransmissions, timeouts): the paper's §2 comparison plus the
     proposed EBSN. *)
 
-val quench : ?replications:int -> unit -> string
+val quench : ?replications:int -> ?jobs:int -> unit -> string
 (** §4.2.2 — "Can ECN work for us?": source quench vs EBSN across
     bad-period lengths.  Quench cannot prevent timeouts of packets
     already in flight. *)
 
-val tick_granularity : ?replications:int -> unit -> string
+val tick_granularity : ?replications:int -> ?jobs:int -> unit -> string
 (** §6 — effect of the TCP clock granularity (100/300/500 ms) on
     local recovery and on EBSN.  Fine timers hurt local recovery
     (more spurious timeouts); EBSN is insensitive. *)
 
-val rt_max : ?replications:int -> unit -> string
+val rt_max : ?replications:int -> ?jobs:int -> unit -> string
 (** Link-layer persistence: RTmax ∈ {1, 3, 7, 13} under EBSN.  CDPD's
     13 keeps frames alive across a whole fade. *)
 
-val arq_window : ?replications:int -> unit -> string
+val arq_window : ?replications:int -> ?jobs:int -> unit -> string
 (** Link-layer pipelining: ARQ window 1 (stop-and-wait) vs 2/4/8
     under local recovery. *)
 
-val ebsn_pacing : ?replications:int -> unit -> string
+val ebsn_pacing : ?replications:int -> ?jobs:int -> unit -> string
 (** One EBSN per failed attempt (paper) vs rate-limited variants. *)
 
-val tcp_window : ?replications:int -> unit -> string
+val tcp_window : ?replications:int -> ?jobs:int -> unit -> string
 (** Receiver window 2/4/8/16 KB under basic TCP and EBSN (the paper
     fixes 4 KB). *)
 
-val ebsn_rearm : ?replications:int -> unit -> string
+val ebsn_rearm : ?replications:int -> ?jobs:int -> unit -> string
 (** The paper's footnote on the EBSN replacement timeout: too small
     fires before the next notification, too large lingers after
     discards. *)
 
-val flavor : ?replications:int -> unit -> string
+val flavor : ?replications:int -> ?jobs:int -> unit -> string
 (** Tahoe (the paper's TCP) vs Reno fast recovery, with and without
     EBSN. *)
 
-val delayed_ack : ?replications:int -> unit -> string
+val delayed_ack : ?replications:int -> ?jobs:int -> unit -> string
 (** Per-segment acks (the paper's sink) vs RFC 1122 delayed acks. *)
 
-val congestion : ?replications:int -> unit -> string
+val congestion : ?replications:int -> ?jobs:int -> unit -> string
 (** The §6 open question ([18]): CBR cross-traffic on the reverse
     wired path competes with acks and EBSNs. *)
 
-val render_all : ?replications:int -> unit -> string
+val render_all : ?replications:int -> ?jobs:int -> unit -> string
 (** Every ablation, separated by blank lines. *)

@@ -1,11 +1,11 @@
-let compute ?replications () =
-  ( Lan_sweep.compute ?replications ~scheme:Topology.Scenario.Basic
+let compute ?replications ?jobs () =
+  ( Lan_sweep.compute ?replications ?jobs ~scheme:Topology.Scenario.Basic
       ~metric:Sweep.retransmitted_kbytes (),
-    Lan_sweep.compute ?replications ~scheme:Topology.Scenario.Ebsn
+    Lan_sweep.compute ?replications ?jobs ~scheme:Topology.Scenario.Ebsn
       ~metric:Sweep.retransmitted_kbytes () )
 
-let render ?replications () =
-  let basic, ebsn = compute ?replications () in
+let render ?replications ?jobs () =
+  let basic, ebsn = compute ?replications ?jobs () in
   Lan_sweep.render_metric
     ~title:
       "Figure 11 — Local area: data retransmitted vs mean bad-period length"

@@ -6,7 +6,7 @@
     its goodput is 100%. *)
 
 val compute :
-  ?replications:int -> unit -> Lan_sweep.series * Lan_sweep.series
+  ?replications:int -> ?jobs:int -> unit -> Lan_sweep.series * Lan_sweep.series
 (** (basic, ebsn) retransmitted-Kbytes series. *)
 
-val render : ?replications:int -> unit -> string
+val render : ?replications:int -> ?jobs:int -> unit -> string

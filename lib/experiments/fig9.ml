@@ -1,12 +1,12 @@
-let compute_basic ?replications () =
-  Wan_sweep.compute ?replications ~scheme:Topology.Scenario.Basic
+let compute_basic ?replications ?jobs () =
+  Wan_sweep.compute ?replications ?jobs ~scheme:Topology.Scenario.Basic
     ~metric:Sweep.retransmitted_kbytes ()
 
-let compute_ebsn ?replications () =
-  Wan_sweep.compute ?replications ~scheme:Topology.Scenario.Ebsn
+let compute_ebsn ?replications ?jobs () =
+  Wan_sweep.compute ?replications ?jobs ~scheme:Topology.Scenario.Ebsn
     ~metric:Sweep.retransmitted_kbytes ()
 
-let render ?replications () =
+let render ?replications ?jobs () =
   String.concat "\n\n"
     [
       Wan_sweep.render_metric
@@ -15,10 +15,10 @@ let render ?replications () =
           "paper: grows with packet size and bad period, tens of Kbytes \
            of a 100 KB transfer"
         ~unit_label:"Kbytes retransmitted by the source (mean)"
-        (compute_basic ?replications ());
+        (compute_basic ?replications ?jobs ());
       Wan_sweep.render_metric
         ~title:"Figure 9b — TCP with EBSN (wide area): data retransmitted"
         ~note:"paper: near zero at every packet size (no timeouts)"
         ~unit_label:"Kbytes retransmitted by the source (mean)"
-        (compute_ebsn ?replications ());
+        (compute_ebsn ?replications ?jobs ());
     ]

@@ -6,8 +6,8 @@
     100 KB transfer); with EBSN timeouts disappear and retransmission
     volume collapses to near zero at every packet size. *)
 
-val compute_basic : ?replications:int -> unit -> Wan_sweep.series list
-val compute_ebsn : ?replications:int -> unit -> Wan_sweep.series list
+val compute_basic : ?replications:int -> ?jobs:int -> unit -> Wan_sweep.series list
+val compute_ebsn : ?replications:int -> ?jobs:int -> unit -> Wan_sweep.series list
 
-val render : ?replications:int -> unit -> string
+val render : ?replications:int -> ?jobs:int -> unit -> string
 (** Both tables (Kbytes retransmitted). *)

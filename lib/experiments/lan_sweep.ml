@@ -5,13 +5,23 @@ type series = { scheme : Scenario.scheme; points : point list }
 
 let bad_periods_sec = [ 0.4; 0.6; 0.8; 1.0; 1.2; 1.4; 1.6 ]
 
-let compute ?replications ?(bad_periods_sec = bad_periods_sec) ~scheme
+let compute ?replications ?jobs ?(bad_periods_sec = bad_periods_sec) ~scheme
     ~metric () =
-  let point_for bad_sec =
-    let scenario = Scenario.lan ~scheme ~mean_bad_sec:bad_sec () in
-    { bad_sec; summary = Sweep.replicate ?replications scenario ~metric }
+  (* One flat (bad period × seed) job list over a single domain pool. *)
+  let summaries =
+    Sweep.replicate_all ?replications ?jobs
+      (List.map
+         (fun bad_sec -> Scenario.lan ~scheme ~mean_bad_sec:bad_sec ())
+         bad_periods_sec)
+      ~metric
   in
-  { scheme; points = List.map point_for bad_periods_sec }
+  {
+    scheme;
+    points =
+      List.map2
+        (fun bad_sec summary -> { bad_sec; summary })
+        bad_periods_sec summaries;
+  }
 
 let tput_th_for bad_sec =
   Theory.tput_th ~tput_max_bps:2_000_000.0 ~mean_good_sec:4.0

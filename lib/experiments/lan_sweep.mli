@@ -12,11 +12,14 @@ val bad_periods_sec : float list
 
 val compute :
   ?replications:int ->
+  ?jobs:int ->
   ?bad_periods_sec:float list ->
   scheme:Topology.Scenario.scheme ->
   metric:(Run.measurement -> float) ->
   unit ->
   series
+(** [jobs] parallelises the replications of each point without
+    changing any value. *)
 
 val render_throughput : title:string -> note:string -> series list -> string
 (** Mbit/s per bad-period length, one column per scheme, plus the

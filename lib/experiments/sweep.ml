@@ -3,14 +3,47 @@ open Topology
 let default_replications = 10
 let seeds ~replications = List.init replications (fun i -> (1000 * i) + 17)
 
-let measurements ?(replications = default_replications) scenario =
-  List.map
-    (fun seed -> Run.measure (Scenario.with_seed scenario seed))
-    (seeds ~replications)
+let rec chunk n = function
+  | [] -> []
+  | xs ->
+    let rec take k acc = function
+      | rest when k = 0 -> (List.rev acc, rest)
+      | [] -> (List.rev acc, [])
+      | x :: rest -> take (k - 1) (x :: acc) rest
+    in
+    let head, rest = take n [] xs in
+    head :: chunk n rest
 
-let replicate ?replications scenario ~metric =
+(* Every (scenario, seed) pair of a whole sweep fans out across one
+   domain pool: far fewer spawns than a pool per sweep point, and
+   enough jobs to keep every domain busy.  The job list is built in
+   deterministic order and [Parallel.map] preserves it, so the
+   per-scenario measurement lists are bit-identical at any [jobs]. *)
+let measurements_all ?(replications = default_replications) ?(jobs = 1)
+    scenarios =
+  if replications <= 0 then List.map (fun _ -> []) scenarios
+  else
+  let seeds = seeds ~replications in
+  let runs =
+    List.concat_map
+      (fun scenario -> List.map (Scenario.with_seed scenario) seeds)
+      scenarios
+  in
+  chunk replications (Sim_engine.Parallel.map ~jobs Run.measure runs)
+
+let measurements ?replications ?jobs scenario =
+  match measurements_all ?replications ?jobs [ scenario ] with
+  | [ ms ] -> ms
+  | _ -> assert false
+
+let replicate_all ?replications ?jobs scenarios ~metric =
+  List.map
+    (fun ms -> Metrics.Summary.of_list (List.map metric ms))
+    (measurements_all ?replications ?jobs scenarios)
+
+let replicate ?replications ?jobs scenario ~metric =
   Metrics.Summary.of_list
-    (List.map metric (measurements ?replications scenario))
+    (List.map metric (measurements ?replications ?jobs scenario))
 
 let throughput (m : Run.measurement) = m.Run.throughput_bps
 let throughput_kbps (m : Run.measurement) = m.Run.throughput_bps /. 1000.0

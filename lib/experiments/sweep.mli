@@ -11,15 +11,42 @@ val seeds : replications:int -> int list
 
 val replicate :
   ?replications:int ->
+  ?jobs:int ->
   Topology.Scenario.t ->
   metric:(Run.measurement -> float) ->
   Metrics.Summary.t
 (** Run the scenario under each replication seed and summarise the
-    metric. *)
+    metric.  [jobs] (default 1) fans the replications out across that
+    many domains; the seed schedule is unchanged, so the summary is
+    bit-identical at any [jobs]. *)
 
 val measurements :
-  ?replications:int -> Topology.Scenario.t -> Run.measurement list
-(** The raw per-seed measurements. *)
+  ?replications:int ->
+  ?jobs:int ->
+  Topology.Scenario.t ->
+  Run.measurement list
+(** The raw per-seed measurements, in seed-schedule order at any
+    [jobs]. *)
+
+val measurements_all :
+  ?replications:int ->
+  ?jobs:int ->
+  Topology.Scenario.t list ->
+  Run.measurement list list
+(** Per-seed measurements for several scenarios, fanned out across
+    one shared domain pool (every (scenario, seed) pair is one job).
+    Sweep drivers prefer this over per-point [measurements]: one pool
+    serves the whole matrix.  Result [i] equals
+    [measurements scenario_i] exactly, at any [jobs]. *)
+
+val replicate_all :
+  ?replications:int ->
+  ?jobs:int ->
+  Topology.Scenario.t list ->
+  metric:(Run.measurement -> float) ->
+  Metrics.Summary.t list
+(** [replicate] over one shared pool; result [i] equals
+    [replicate scenario_i ~metric]. *)
 
 val throughput : Run.measurement -> float
 (** Metric selector: throughput in bits/s. *)

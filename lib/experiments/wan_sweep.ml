@@ -8,18 +8,38 @@ let packet_sizes =
 
 let bad_periods_sec = [ 1.0; 2.0; 3.0; 4.0 ]
 
-let compute ?replications ?(packet_sizes = packet_sizes)
+let compute ?replications ?jobs ?(packet_sizes = packet_sizes)
     ?(bad_periods_sec = bad_periods_sec) ~scheme ~metric () =
-  let series_for bad_sec =
-    let cell_for size =
-      let scenario =
-        Scenario.wan ~scheme ~packet_size:size ~mean_bad_sec:bad_sec ()
-      in
-      { size; summary = Sweep.replicate ?replications scenario ~metric }
-    in
-    { bad_sec; cells = List.map cell_for packet_sizes }
+  (* The whole (bad period × packet size × seed) matrix is one flat
+     job list over a single domain pool. *)
+  let points =
+    List.concat_map
+      (fun bad_sec ->
+        List.map
+          (fun size ->
+            ( (bad_sec, size),
+              Scenario.wan ~scheme ~packet_size:size ~mean_bad_sec:bad_sec ()
+            ))
+          packet_sizes)
+      bad_periods_sec
   in
-  List.map series_for bad_periods_sec
+  let summaries =
+    Sweep.replicate_all ?replications ?jobs (List.map snd points) ~metric
+  in
+  let cells =
+    List.map2 (fun ((bad_sec, size), _) summary -> (bad_sec, { size; summary }))
+      points summaries
+  in
+  List.map
+    (fun bad_sec ->
+      {
+        bad_sec;
+        cells =
+          List.filter_map
+            (fun (bad, cell) -> if bad = bad_sec then Some cell else None)
+            cells;
+      })
+    bad_periods_sec
 
 let tput_th_for bad_sec =
   Theory.tput_th ~tput_max_bps:12_800.0 ~mean_good_sec:10.0

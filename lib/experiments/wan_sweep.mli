@@ -16,13 +16,15 @@ val bad_periods_sec : float list
 
 val compute :
   ?replications:int ->
+  ?jobs:int ->
   ?packet_sizes:int list ->
   ?bad_periods_sec:float list ->
   scheme:Topology.Scenario.scheme ->
   metric:(Run.measurement -> float) ->
   unit ->
   series list
-(** One series per bad-period length. *)
+(** One series per bad-period length.  [jobs] parallelises the
+    replications of each point without changing any value. *)
 
 val render_throughput :
   title:string -> note:string -> series list -> string

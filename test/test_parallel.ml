@@ -1,0 +1,95 @@
+(* Tests for the domain work-pool (Parallel) and the parallel
+   replication contract: same seeds => same measurements at any
+   jobs. *)
+
+open Core
+
+(* ------------------------------------------------------------------ *)
+(* Parallel.map                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_default_jobs () =
+  Alcotest.(check bool) "at least 1" true (Parallel.default_jobs () >= 1)
+
+let test_map_empty () =
+  Alcotest.(check (list int)) "empty input" []
+    (Parallel.map ~jobs:4 (fun x -> x) [])
+
+let test_map_singleton () =
+  Alcotest.(check (list int)) "singleton" [ 9 ]
+    (Parallel.map ~jobs:4 (fun x -> x * x) [ 3 ])
+
+let test_map_order () =
+  let xs = List.init 100 Fun.id in
+  let expected = List.map (fun x -> x * x) xs in
+  Alcotest.(check (list int)) "jobs=4 preserves order" expected
+    (Parallel.map ~jobs:4 (fun x -> x * x) xs);
+  Alcotest.(check (list int)) "jobs=1 is List.map" expected
+    (Parallel.map ~jobs:1 (fun x -> x * x) xs);
+  Alcotest.(check (list int)) "more jobs than elements" [ 1; 4; 9 ]
+    (Parallel.map ~jobs:16 (fun x -> x * x) [ 1; 2; 3 ])
+
+let test_map_exception () =
+  Alcotest.check_raises "worker exception reaches the caller"
+    (Failure "boom")
+    (fun () ->
+      ignore
+        (Parallel.map ~jobs:4
+           (fun x -> if x = 37 then failwith "boom" else x)
+           (List.init 64 Fun.id)))
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: jobs=1 and jobs=4 give identical measurements          *)
+(* ------------------------------------------------------------------ *)
+
+let measurement =
+  Alcotest.testable
+    (fun ppf (m : Run.measurement) ->
+      Format.fprintf ppf "tput=%g goodput=%g retx=%g timeouts=%d"
+        m.Run.throughput_bps m.Run.goodput m.Run.retransmitted_kbytes
+        m.Run.source_timeouts)
+    ( = )
+
+let check_scenario_deterministic label scenario =
+  let seq = Sweep.measurements ~replications:6 ~jobs:1 scenario in
+  let par = Sweep.measurements ~replications:6 ~jobs:4 scenario in
+  Alcotest.(check (list measurement)) label seq par
+
+let test_wan_determinism () =
+  check_scenario_deterministic "wan: jobs=1 = jobs=4"
+    (Scenario.wan ~scheme:Scenario.Ebsn ~mean_bad_sec:2.0 ())
+
+let test_lan_determinism () =
+  (* A smaller transfer than the paper's 4 MB keeps the test quick
+     without changing the code paths exercised. *)
+  check_scenario_deterministic "lan: jobs=1 = jobs=4"
+    (Scenario.lan ~scheme:Scenario.Basic ~mean_bad_sec:0.8
+       ~file_bytes:200_000 ())
+
+let test_csv_byte_identical () =
+  let csv jobs =
+    Wan_sweep.to_csv
+      (Wan_sweep.compute ~replications:3 ~jobs ~packet_sizes:[ 256; 768 ]
+         ~bad_periods_sec:[ 1.0; 4.0 ] ~scheme:Scenario.Basic
+         ~metric:Sweep.throughput ())
+  in
+  Alcotest.(check string) "sweep CSV byte-identical" (csv 1) (csv 3)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "map",
+        [
+          Alcotest.test_case "default_jobs" `Quick test_default_jobs;
+          Alcotest.test_case "empty" `Quick test_map_empty;
+          Alcotest.test_case "singleton" `Quick test_map_singleton;
+          Alcotest.test_case "order" `Quick test_map_order;
+          Alcotest.test_case "exception" `Quick test_map_exception;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "wan measurements" `Quick test_wan_determinism;
+          Alcotest.test_case "lan measurements" `Quick test_lan_determinism;
+          Alcotest.test_case "sweep csv" `Quick test_csv_byte_identical;
+        ] );
+    ]

@@ -48,6 +48,61 @@ let prop_queue_cancel_subset =
       in
       drain [] = expected)
 
+(* Interleaved adds, cancels and pops checked against a sorted-list
+   model: pop order is (time, then insertion order) no matter how the
+   operations interleave.  Guards the hole-insertion sift rewrite. *)
+let prop_queue_interleaved_ops =
+  QCheck2.Test.make
+    ~name:"event queue: interleaved add/cancel/pop matches the sorted-list \
+           model"
+    ~count:300
+    QCheck2.Gen.(
+      list_size (int_range 0 120)
+        (pair (int_range 0 3) (pair (int_range 0 30) (int_range 0 1000))))
+    (fun ops ->
+      let q = Event_queue.create () in
+      let handles = ref [] in
+      let model = ref [] in
+      let order = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun (cmd, (time, pick)) ->
+          match cmd with
+          | 0 | 1 ->
+            (* Biased towards adds so pops have something to drain. *)
+            let key = (time, !order) in
+            let h = Event_queue.add q ~time:(Simtime.of_ns time) key in
+            handles := (h, key) :: !handles;
+            model := key :: !model;
+            incr order
+          | 2 -> (
+            (* Cancel a random tracked handle; cancelling one that was
+               already popped or cancelled must be a no-op. *)
+            match !handles with
+            | [] -> ()
+            | hs ->
+              let h, key = List.nth hs (pick mod List.length hs) in
+              Event_queue.cancel q h;
+              model := List.filter (fun e -> e <> key) !model)
+          | _ -> (
+            let expected =
+              match List.sort compare !model with [] -> None | e :: _ -> Some e
+            in
+            match (Event_queue.pop q, expected) with
+            | None, None -> ()
+            | Some (_, v), Some e when v = e ->
+              model := List.filter (fun x -> x <> e) !model
+            | _ -> ok := false))
+        ops;
+      let rec drain acc =
+        match Event_queue.pop q with
+        | Some (_, v) -> drain (v :: acc)
+        | None -> List.rev acc
+      in
+      !ok
+      && Event_queue.length q = List.length !model
+      && drain [] = List.sort compare !model)
+
 (* ------------------------------------------------------------------ *)
 (* Timeline alternation                                                *)
 (* ------------------------------------------------------------------ *)
@@ -308,7 +363,8 @@ let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "properties"
     [
-      ("event_queue", [ qc prop_queue_cancel_subset ]);
+      ( "event_queue",
+        [ qc prop_queue_cancel_subset; qc prop_queue_interleaved_ops ] );
       ("timeline", [ qc prop_timeline_alternates ]);
       ("fragmentation", [ qc prop_fragment_reassembly_roundtrip ]);
       ( "arq",
