@@ -1,13 +1,17 @@
 (* Benchmark harness: regenerates every table and figure of the
    paper's evaluation plus the ablations from DESIGN.md.
 
-   Usage: main.exe [target ...] [reps=N] [jobs=N] [csv=DIR]
+   Usage: main.exe [target ...] [reps=N] [jobs=N] [csv=DIR] [check=0|1]
+          [trace=PATH] [metrics=PATH]
 
    With csv=DIR each figure target also writes its data as
    DIR/<figure>.csv for external plotting.  jobs=N fans the
    replications of every sweep point across N OCaml domains (default:
    the host's recommended domain count minus one, at least 1); the
    seed schedule is unchanged, so output is byte-identical at any N.
+   check=1 runs every simulation under the runtime invariant
+   checkers; trace=PATH and metrics=PATH make the `obs` target write
+   its structured trace and metrics output to files.
 
    Targets: figs (Figures 3-5), fig7, fig8, fig9, fig10, fig11,
    advisor (the §4.1 packet-size table), goodput, ablation-schemes,
@@ -16,11 +20,16 @@
    ablation-flavor, ablation-delack, ablation-congestion,
    ablation-sched, ablation-handoff, micro (Bechamel engine
    micro-benchmarks), parallel (sequential vs parallel wall-clock,
-   recorded in BENCH_parallel.json).  No target runs everything. *)
+   recorded in BENCH_parallel.json), obs (observability determinism:
+   trace+metrics byte-identical at any jobs=N).  No target runs
+   everything. *)
 
 let replications = ref 10
 let jobs = ref (Core.Parallel.default_jobs ())
 let csv_dir : string option ref = ref None
+let check = ref false
+let trace_path : string option ref = ref None
+let metrics_path : string option ref = ref None
 
 let write_csv name contents =
   match !csv_dir with
@@ -322,6 +331,93 @@ let parallel_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Observability determinism                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Runs a handful of WAN and LAN scenarios with trace + metrics
+   collection (and the invariant checkers when check=1), at jobs=1 and
+   jobs=N, and fails if the observability output is not byte-identical
+   — the same guarantee the parallel target gives for the figures. *)
+let obs_bench () =
+  let scenarios =
+    List.concat_map
+      (fun seed ->
+        let tag name = Printf.sprintf "%s seed=%d" name seed in
+        [
+          (tag "wan-basic", Core.Scenario.wan ~scheme:Core.Scenario.Basic ~seed ());
+          (tag "wan-ebsn", Core.Scenario.wan ~scheme:Core.Scenario.Ebsn ~seed ());
+          ( tag "wan-local",
+            Core.Scenario.wan ~scheme:Core.Scenario.Local_recovery ~seed () );
+          ( tag "lan-basic",
+            Core.Scenario.lan ~scheme:Core.Scenario.Basic
+              ~file_bytes:(512 * 1024) ~seed () );
+          ( tag "lan-ebsn",
+            Core.Scenario.lan ~scheme:Core.Scenario.Ebsn
+              ~file_bytes:(512 * 1024) ~seed () );
+        ])
+      [ 1; 2 ]
+  in
+  let obs =
+    Core.Obs.Config.{ check = !check; trace = true; metrics = true }
+  in
+  let collect jobs =
+    Core.Parallel.map ~jobs
+      (fun (_, scenario) ->
+        let o = Core.Wiring.run ~obs scenario in
+        (o.Core.Wiring.obs_trace, o.Core.Wiring.obs_metrics))
+      scenarios
+  in
+  let concat part results =
+    String.concat ""
+      (List.map2
+         (fun (name, _) r ->
+           Printf.sprintf "# %s\n%s" name (Option.value (part r) ~default:""))
+         scenarios results)
+  in
+  let render results = (concat fst results, concat snd results) in
+  let seq_trace, seq_metrics = render (collect 1) in
+  let par_trace, par_metrics = render (collect !jobs) in
+  let identical = seq_trace = par_trace && seq_metrics = par_metrics in
+  let write label path contents =
+    match path with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc contents;
+      close_out oc;
+      Printf.printf "wrote %s (%s)\n" path label
+  in
+  write "trace" !trace_path seq_trace;
+  write "metrics" !metrics_path seq_metrics;
+  section
+    (String.concat "\n"
+       [
+         Core.Report.heading "Observability — determinism across domains";
+         Core.Report.table
+           ~columns:[ "output"; "bytes"; "identical jobs=1 vs jobs=N" ]
+           ~rows:
+             [
+               [
+                 "trace";
+                 string_of_int (String.length seq_trace);
+                 string_of_bool (seq_trace = par_trace);
+               ];
+               [
+                 "metrics";
+                 string_of_int (String.length seq_metrics);
+                 string_of_bool (seq_metrics = par_metrics);
+               ];
+             ];
+         Core.Report.note
+           (Printf.sprintf "%d runs (WAN + LAN), jobs=%d, check=%b"
+              (List.length scenarios) !jobs !check);
+       ]);
+  if not identical then begin
+    prerr_endline "FAIL: observability output differs across jobs= settings";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let targets =
   [
@@ -348,11 +444,13 @@ let targets =
     ("ablation-handoff", ablation_handoff);
     ("micro", micro);
     ("parallel", parallel_bench);
+    ("obs", obs_bench);
   ]
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [target ...] [reps=N] [jobs=N] [csv=DIR]\n\
+    "usage: main.exe [target ...] [reps=N] [jobs=N] [csv=DIR] [check=0|1] \
+     [trace=PATH] [metrics=PATH]\n\
      targets: %s\n"
     (String.concat ", " (List.map fst targets));
   exit 2
@@ -374,6 +472,15 @@ let set_flag flag =
     | "reps" -> replications := int_flag ~key value
     | "jobs" -> jobs := int_flag ~key value
     | "csv" -> csv_dir := Some value
+    | "check" -> (
+      match value with
+      | "0" -> check := false
+      | "1" -> check := true
+      | _ ->
+        Printf.eprintf "check=%s: expected 0 or 1\n" value;
+        usage ())
+    | "trace" -> trace_path := Some value
+    | "metrics" -> metrics_path := Some value
     | _ ->
       Printf.eprintf "unknown flag %S\n" flag;
       usage ())
@@ -384,6 +491,11 @@ let () =
     List.partition (fun a -> not (String.contains a '=')) args
   in
   List.iter set_flag flags;
+  (* Checked mode applies to every run the targets launch, including
+     those fanned out across domains; set before any domain spawns. *)
+  if !check then
+    Core.Obs.Config.set_default
+      Core.Obs.Config.{ off with check = true };
   let to_run = match named with [] -> List.map fst targets | names -> names in
   List.iter
     (fun name ->

@@ -210,25 +210,62 @@ let run_cmd =
       & info [ "nstrace" ] ~docv:"FILE"
           ~doc:"Write an NS-style per-link event trace to $(docv).")
   in
-  let action scenario nstrace_path =
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:"Run the runtime invariant checkers after every simulated \
+                event; abort on the first violation.")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write the structured JSONL event trace to $(docv).")
+  in
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"Write the metrics registry (JSONL, sorted by name) to \
+                $(docv).")
+  in
+  let action scenario nstrace_path check trace_path metrics_path =
     let scenario =
       match nstrace_path with
       | Some _ -> { scenario with Core.Scenario.collect_nstrace = true }
       | None -> scenario
     in
-    let outcome = Core.Wiring.run scenario in
+    let obs =
+      Core.Obs.Config.
+        {
+          check;
+          trace = Option.is_some trace_path;
+          metrics = Option.is_some metrics_path;
+        }
+    in
+    let outcome = Core.Wiring.run ~obs scenario in
     print_outcome scenario outcome;
-    match nstrace_path, outcome.Core.Wiring.nstrace with
-    | Some path, Some trace ->
-      let oc = open_out path in
-      output_string oc trace;
-      close_out oc;
-      Printf.printf "nstrace:    %s\n" path
-    | _ -> ()
+    let write_file label path contents =
+      match path, contents with
+      | Some path, Some data ->
+        let oc = open_out path in
+        output_string oc data;
+        close_out oc;
+        Printf.printf "%-11s %s\n" (label ^ ":") path
+      | _ -> ()
+    in
+    write_file "nstrace" nstrace_path outcome.Core.Wiring.nstrace;
+    write_file "trace" trace_path outcome.Core.Wiring.obs_trace;
+    write_file "metrics" metrics_path outcome.Core.Wiring.obs_metrics
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one bulk-transfer simulation")
-    Term.(const action $ scenario_term $ nstrace_arg)
+    Term.(
+      const action $ scenario_term $ nstrace_arg $ check_arg $ trace_arg
+      $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                               *)

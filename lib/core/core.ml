@@ -17,6 +17,10 @@
         (Core.Wiring.throughput_bps outcome /. 1e3)
     ]} *)
 
+(** {1 Observability} *)
+
+module Obs = Obs
+
 (** {1 Simulation engine} *)
 
 module Simtime = Sim_engine.Simtime

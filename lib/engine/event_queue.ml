@@ -7,15 +7,34 @@ type 'a entry = {
 
 type handle = H : 'a entry -> handle
 
+type stats = { adds : int; pops : int; cancels : int; max_size : int }
+
 type 'a t = {
   mutable heap : 'a entry array;
   (* heap.(0) is unused padding when empty; we grow on demand. *)
   mutable size : int;
   mutable next_order : int;
   mutable live_count : int;
+  mutable adds : int;
+  mutable pops : int;
+  mutable cancels : int;
+  mutable max_size : int;
 }
 
-let create () = { heap = [||]; size = 0; next_order = 0; live_count = 0 }
+let create () =
+  {
+    heap = [||];
+    size = 0;
+    next_order = 0;
+    live_count = 0;
+    adds = 0;
+    pops = 0;
+    cancels = 0;
+    max_size = 0;
+  }
+
+let stats t =
+  { adds = t.adds; pops = t.pops; cancels = t.cancels; max_size = t.max_size }
 
 let length t = t.live_count
 let is_empty t = t.live_count = 0
@@ -84,13 +103,16 @@ let add t ~time value =
   t.heap.(t.size) <- entry;
   t.size <- t.size + 1;
   t.live_count <- t.live_count + 1;
+  t.adds <- t.adds + 1;
+  if t.size > t.max_size then t.max_size <- t.size;
   sift_up t (t.size - 1);
   H entry
 
 let cancel t (H entry) =
   if entry.live then begin
     entry.live <- false;
-    t.live_count <- t.live_count - 1
+    t.live_count <- t.live_count - 1;
+    t.cancels <- t.cancels + 1
   end
 
 let is_live _t (H entry) = entry.live
@@ -111,6 +133,7 @@ let rec pop t =
     if root.live then begin
       root.live <- false;
       t.live_count <- t.live_count - 1;
+      t.pops <- t.pops + 1;
       Some (root.time, root.value)
     end
     else pop t

@@ -35,3 +35,16 @@ val peek_time : 'a t -> Simtime.t option
 
 val pop : 'a t -> (Simtime.t * 'a) option
 (** Remove and return the earliest live event. *)
+
+(** {2 Observability} *)
+
+type stats = {
+  adds : int;  (** events ever scheduled *)
+  pops : int;  (** live events ever popped *)
+  cancels : int;  (** live events ever cancelled *)
+  max_size : int;  (** high-water mark of the heap, cancelled included *)
+}
+
+val stats : 'a t -> stats
+(** Lifetime counters (always maintained; a handful of integer writes
+    per operation). *)

@@ -3,6 +3,9 @@ type t = {
   queue : (unit -> unit) Event_queue.t;
   root_rng : Rng.t;
   mutable stopping : bool;
+  mutable checked : bool;
+  mutable invariants : (unit -> unit) list;  (* registration order *)
+  mutable executed_total : int;
 }
 
 type event = Event_queue.handle
@@ -13,6 +16,9 @@ let create ?(seed = 1) () =
     queue = Event_queue.create ();
     root_rng = Rng.create ~seed;
     stopping = false;
+    checked = false;
+    invariants = [];
+    executed_total = 0;
   }
 
 let now t = t.clock
@@ -27,13 +33,27 @@ let schedule_after t ~delay f = schedule t ~at:(Simtime.add t.clock delay) f
 let cancel t event = Event_queue.cancel t.queue event
 let is_pending t event = Event_queue.is_live t.queue event
 let pending_events t = Event_queue.length t.queue
+let queue_stats t = Event_queue.stats t.queue
+let events_executed t = t.executed_total
+
+let set_checked t on = t.checked <- on
+let checked t = t.checked
+let add_invariant t f = t.invariants <- t.invariants @ [ f ]
+
+let run_invariants t = List.iter (fun f -> f ()) t.invariants
 
 let step t =
   match Event_queue.pop t.queue with
   | None -> false
   | Some (time, f) ->
+    if t.checked && Simtime.(time < t.clock) then
+      Obs.Invariant.fail ~name:"engine.time_monotonic"
+        (Printf.sprintf "event at %dns before clock %dns" (Simtime.to_ns time)
+           (Simtime.to_ns t.clock));
     t.clock <- time;
     f ();
+    t.executed_total <- t.executed_total + 1;
+    if t.checked then run_invariants t;
     true
 
 let run ?until ?max_events t =
@@ -58,13 +78,16 @@ let run ?until ?max_events t =
   do
     incr executed
   done;
-  (* When stopped by the horizon, advance the clock to it so callers
-     can schedule relative to the requested stop time. *)
+  (* When stopped by the horizon — either because the next event lies
+     beyond it or because the queue drained before reaching it —
+     advance the clock to the horizon so callers can schedule relative
+     to the requested stop time.  [stop] and an exhausted [max_events]
+     with work still pending leave the clock at the last event. *)
   match until with
   | Some horizon when Simtime.(t.clock < horizon) && not t.stopping ->
     if
       match Event_queue.peek_time t.queue with
-      | None -> false
+      | None -> true
       | Some next -> Simtime.(next > horizon)
     then t.clock <- horizon
   | _ -> ()

@@ -47,8 +47,35 @@ val step : t -> bool
 val run : ?until:Simtime.t -> ?max_events:int -> t -> unit
 (** Execute events in order until the queue drains, the clock passes
     [until], or [max_events] events have fired.  Events scheduled
-    beyond [until] remain pending. *)
+    beyond [until] remain pending.  When the run ends at the horizon —
+    whether the next event lies beyond [until] or the queue drained
+    first — the clock is advanced to [until], so callers can schedule
+    relative to the requested stop time.  {!stop}, and an exhausted
+    [max_events] with work still pending, leave the clock at the last
+    executed event. *)
 
 val stop : t -> unit
 (** Make the current {!run} return after the executing event
     completes.  Pending events are kept. *)
+
+(** {2 Observability and checked mode} *)
+
+val set_checked : t -> bool -> unit
+(** Enable or disable checked mode.  While enabled, event times are
+    verified monotonic and every registered invariant runs after each
+    event; a failing invariant raises {!Obs.Invariant.Violation} out
+    of {!step} / {!run}.  Disabled (the default), the only cost is one
+    branch per event. *)
+
+val checked : t -> bool
+
+val add_invariant : t -> (unit -> unit) -> unit
+(** Register an invariant check, run after every event in checked
+    mode, in registration order.  Checks signal violations by raising
+    {!Obs.Invariant.Violation} (see {!Obs.Invariant.require}). *)
+
+val events_executed : t -> int
+(** Total events executed over the simulator's lifetime. *)
+
+val queue_stats : t -> Event_queue.stats
+(** Lifetime counters of the pending-event set. *)

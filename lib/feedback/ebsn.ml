@@ -9,16 +9,33 @@ let make ~alloc_id ~src ~dst ~conn ~now =
 
 type pacing = Every_attempt | Min_interval of Simtime.span
 
-type gate = { pacing : pacing; last_sent : (int, Simtime.t) Hashtbl.t }
+type gate = {
+  pacing : pacing;
+  last_sent : (int, Simtime.t) Hashtbl.t;
+  trace : Obs.Trace.t;
+}
 
-let gate pacing = { pacing; last_sent = Hashtbl.create 4 }
+let gate ?(trace = Obs.Trace.disabled) pacing =
+  { pacing; last_sent = Hashtbl.create 4; trace }
+
+let trace_emit t ~ev ~conn ~now =
+  if Obs.Trace.enabled t.trace then
+    Obs.Trace.emit t.trace ~t_ns:(Simtime.to_ns now) ~comp:"ebsn" ~ev
+      [ ("conn", Obs.Jsonl.Int conn) ]
 
 let admit t ~conn ~now =
+  let verdict =
+    match t.pacing with
+    | Every_attempt -> true
+    | Min_interval interval -> (
+      match Hashtbl.find_opt t.last_sent conn with
+      | Some last when Simtime.(now < add last interval) -> false
+      | Some _ | None -> true)
+  in
+  trace_emit t ~ev:(if verdict then "admit" else "suppress") ~conn ~now;
+  verdict
+
+let record t ~conn ~now =
   match t.pacing with
-  | Every_attempt -> true
-  | Min_interval interval -> (
-    match Hashtbl.find_opt t.last_sent conn with
-    | Some last when Simtime.(now < add last interval) -> false
-    | Some _ | None ->
-      Hashtbl.replace t.last_sent conn now;
-      true)
+  | Every_attempt -> ()
+  | Min_interval _ -> Hashtbl.replace t.last_sent conn now

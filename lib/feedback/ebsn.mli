@@ -35,9 +35,16 @@ type pacing =
 type gate
 (** Pacing state across connections. *)
 
-val gate : pacing -> gate
-(** Fresh pacing state. *)
+val gate : ?trace:Obs.Trace.t -> pacing -> gate
+(** Fresh pacing state.  With [trace], every {!admit} decision is
+    emitted as an [ebsn] admit/suppress event. *)
 
 val admit : gate -> conn:int -> now:Sim_engine.Simtime.t -> bool
-(** Whether a notification for [conn] may be sent at [now]; records
-    the send when admitted. *)
+(** Whether a notification for [conn] may be sent at [now].  Purely a
+    query: the caller must {!record} the notification once it has
+    actually been injected, so that an admitted-but-dropped EBSN does
+    not suppress the next one. *)
+
+val record : gate -> conn:int -> now:Sim_engine.Simtime.t -> unit
+(** Note that a notification for [conn] was sent at [now]; starts the
+    [Min_interval] suppression window.  No-op under [Every_attempt]. *)

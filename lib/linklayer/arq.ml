@@ -37,6 +37,7 @@ type entry = {
   mutable attempts : int;  (* transmissions performed so far *)
   mutable timer : Simulator.event option;  (* ack timeout or backoff *)
   mutable in_link : bool;  (* handed to the link, not yet serialised *)
+  mutable acked : bool;  (* link ack arrived while still in the link *)
 }
 
 type t = {
@@ -56,7 +57,15 @@ type t = {
   mutable discards : int;
   mutable attempt_failures : int;
   mutable spurious_acks : int;
+  obs_comp : string;
+  mutable obs_trace : Obs.Trace.t;
+  mutable attempts_hist : Obs.Registry.histogram;
 }
+
+let trace_emit t ~ev fields =
+  Obs.Trace.emit t.obs_trace
+    ~t_ns:(Simtime.to_ns (Simulator.now t.sim))
+    ~comp:t.obs_comp ~ev fields
 
 (* The acknowledgement must travel back: propagation out, ack airtime,
    propagation back — plus the configured margin for queueing behind
@@ -83,6 +92,12 @@ let transmit t entry =
   t.transmissions <- t.transmissions + 1;
   if entry.attempts > 1 then t.retransmissions <- t.retransmissions + 1;
   entry.in_link <- true;
+  if Obs.Trace.enabled t.obs_trace then
+    trace_emit t ~ev:"tx"
+      [
+        ("seq", Obs.Jsonl.Int entry.frame.Frame.seq);
+        ("attempt", Obs.Jsonl.Int entry.attempts);
+      ];
   Wireless_link.send t.link entry.frame
 
 (* Fired by the link when one of our frames finishes serialising. *)
@@ -91,16 +106,30 @@ let rec frame_serialised t frame =
     match Hashtbl.find_opt t.inflight frame.Frame.seq with
     | Some entry when entry.in_link ->
       entry.in_link <- false;
-      cancel_timer t entry;
-      entry.timer <-
-        Some
-          (Simulator.schedule_after t.sim ~delay:(ack_timeout t) (fun () ->
-               on_ack_timeout t entry))
+      if entry.acked then begin
+        (* The link ack overtook our serialisation event; the deferred
+           completion lands now. *)
+        entry.acked <- false;
+        complete_entry t entry
+      end
+      else begin
+        cancel_timer t entry;
+        entry.timer <-
+          Some
+            (Simulator.schedule_after t.sim ~delay:(ack_timeout t) (fun () ->
+                 on_ack_timeout t entry))
+      end
     | Some _ | None -> ()
 
 and on_ack_timeout t entry =
   entry.timer <- None;
   t.attempt_failures <- t.attempt_failures + 1;
+  if Obs.Trace.enabled t.obs_trace then
+    trace_emit t ~ev:"attempt_failure"
+      [
+        ("seq", Obs.Jsonl.Int entry.frame.Frame.seq);
+        ("attempt", Obs.Jsonl.Int entry.attempts);
+      ];
   (match t.on_attempt_failure with
   | Some f -> f entry.frame ~attempt:entry.attempts
   | None -> ());
@@ -108,6 +137,9 @@ and on_ack_timeout t entry =
     (* The initial transmission plus rt_max retransmissions have all
        failed: discard, as CDPD does. *)
     t.discards <- t.discards + 1;
+    if Obs.Trace.enabled t.obs_trace then
+      trace_emit t ~ev:"discard"
+        [ ("seq", Obs.Jsonl.Int entry.frame.Frame.seq) ];
     (match t.on_discard with Some f -> f entry.frame | None -> ());
     release t entry
   end
@@ -137,6 +169,17 @@ and release t entry =
   Hashtbl.remove t.inflight entry.frame.Frame.seq;
   t.slots_held <- t.slots_held - 1;
   pump t
+
+and complete_entry t entry =
+  t.completions <- t.completions + 1;
+  Obs.Registry.observe t.attempts_hist (float_of_int entry.attempts);
+  if Obs.Trace.enabled t.obs_trace then
+    trace_emit t ~ev:"complete"
+      [
+        ("seq", Obs.Jsonl.Int entry.frame.Frame.seq);
+        ("attempts", Obs.Jsonl.Int entry.attempts);
+      ];
+  release t entry
 
 (* Fill free window slots from the scheduler. *)
 and pump t =
@@ -170,6 +213,9 @@ let create sim ~rng ~config ~link =
       discards = 0;
       attempt_failures = 0;
       spurious_acks = 0;
+      obs_comp = "arq:" ^ Wireless_link.name link;
+      obs_trace = Obs.Trace.disabled;
+      attempts_hist = Obs.Registry.histogram Obs.Registry.disabled "arq.attempts";
     }
   in
   Wireless_link.set_on_frame_sent link (frame_serialised t);
@@ -180,7 +226,9 @@ let set_on_discard t f = t.on_discard <- Some f
 
 let send t ~conn payload =
   let frame = Frame.{ seq = t.next_seq; payload } in
-  let entry = { frame; conn; attempts = 0; timer = None; in_link = false } in
+  let entry =
+    { frame; conn; attempts = 0; timer = None; in_link = false; acked = false }
+  in
   let accepted = Sched.push t.waiting ~conn entry in
   if accepted then begin
     t.next_seq <- t.next_seq + 1;
@@ -190,14 +238,37 @@ let send t ~conn payload =
 
 let handle_link_ack t ~acked_seq =
   match Hashtbl.find_opt t.inflight acked_seq with
-  | Some entry ->
-    t.completions <- t.completions + 1;
-    release t entry
+  | Some entry when entry.in_link ->
+    (* The ack raced our own serialisation event (zero-delay links, or
+       an ack for a previous attempt of the same frame).  Releasing
+       here would desynchronise [slots_held] from the link's pending
+       frame-sent notification, so defer the completion until the frame
+       leaves the transmitter.  A second early ack is spurious. *)
+    if entry.acked then t.spurious_acks <- t.spurious_acks + 1
+    else entry.acked <- true
+  | Some entry -> complete_entry t entry
   | None -> t.spurious_acks <- t.spurious_acks + 1
 
 let idle t = Hashtbl.length t.inflight = 0 && Sched.is_empty t.waiting
 let in_flight t = Hashtbl.length t.inflight
 let backlog t = Sched.length t.waiting
+
+let set_obs t ~trace ~metrics =
+  t.obs_trace <- trace;
+  t.attempts_hist <- Obs.Registry.histogram metrics "arq.attempts"
+
+let check_invariants t =
+  Obs.Invariant.require ~name:"arq.window_slots"
+    (0 <= t.slots_held && t.slots_held <= t.cfg.window)
+    ~detail:(fun () ->
+      Printf.sprintf "%s: slots_held=%d window=%d" t.obs_comp t.slots_held
+        t.cfg.window);
+  Obs.Invariant.require ~name:"arq.inflight_consistent"
+    (t.slots_held = Hashtbl.length t.inflight)
+    ~detail:(fun () ->
+      Printf.sprintf "%s: slots_held=%d but %d entries in flight" t.obs_comp
+        t.slots_held
+        (Hashtbl.length t.inflight))
 
 let stats t =
   {

@@ -74,7 +74,12 @@ val send : t -> conn:int -> Frame.payload -> bool
     queue rejected it. *)
 
 val handle_link_ack : t -> acked_seq:int -> unit
-(** Feed a link acknowledgement received from the peer. *)
+(** Feed a link acknowledgement received from the peer.  An ack that
+    arrives while the frame is still being serialised (possible with
+    zero-delay links, or when an ack for a superseded attempt races a
+    retransmission) is deferred: the completion is applied when the
+    link reports the frame sent, keeping the window accounting in sync.
+    Duplicate acks for the same in-flight frame count as spurious. *)
 
 val set_on_attempt_failure : t -> (Frame.t -> attempt:int -> unit) -> unit
 (** Called when transmission attempt number [attempt] (1-based) of a
@@ -93,3 +98,16 @@ val backlog : t -> int
 (** Frames waiting for their first transmission. *)
 
 val stats : t -> stats
+
+(** {2 Observability} *)
+
+val set_obs : t -> trace:Obs.Trace.t -> metrics:Obs.Registry.t -> unit
+(** Attach a structured trace and a metrics registry.  The sender then
+    emits [arq:<link>] trace events (tx / attempt_failure / discard /
+    complete) and feeds the [arq.attempts] histogram with the number of
+    transmissions each completed frame needed. *)
+
+val check_invariants : t -> unit
+(** Verify window accounting: [0 <= slots_held <= window] and
+    [slots_held] equal to the number of in-flight entries.
+    @raise Obs.Invariant.Violation on the first failing check. *)

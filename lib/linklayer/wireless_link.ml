@@ -38,6 +38,9 @@ type t = {
   mutable air_bytes_total : int;
   mutable frames_lost : int;
   mutable frames_delivered : int;
+  mutable accepted : int;  (* frames handed to [send] *)
+  mutable in_propagation : int;  (* delivered-but-in-flight frames *)
+  mutable obs_trace : Obs.Trace.t;
 }
 
 let create sim ~name ~config ~channel_for ~queue_capacity =
@@ -57,11 +60,22 @@ let create sim ~name ~config ~channel_for ~queue_capacity =
     air_bytes_total = 0;
     frames_lost = 0;
     frames_delivered = 0;
+    accepted = 0;
+    in_propagation = 0;
+    obs_trace = Obs.Trace.disabled;
   }
 
 let set_receiver t f = t.receiver <- Some f
 let set_monitor t f = t.monitor <- Some f
 let set_on_frame_sent t f = t.on_frame_sent <- Some f
+let set_trace t trace = t.obs_trace <- trace
+
+let trace_emit t ~ev frame =
+  Obs.Trace.emit t.obs_trace
+    ~t_ns:(Simtime.to_ns (Simulator.now t.sim))
+    ~comp:("link:" ^ t.link_name)
+    ~ev
+    [ ("seq", Obs.Jsonl.Int frame.Frame.seq) ]
 
 let notify t event =
   match t.monitor with Some f -> f event | None -> ()
@@ -77,11 +91,13 @@ let deliver t frame =
   | None -> failwith ("Wireless_link " ^ t.link_name ^ ": no receiver")
   | Some f ->
     t.frames_delivered <- t.frames_delivered + 1;
+    if Obs.Trace.enabled t.obs_trace then trace_emit t ~ev:"delivered" frame;
     notify t (Delivered frame);
     f frame
 
 let rec transmit t frame =
   t.transmitting <- true;
+  if Obs.Trace.enabled t.obs_trace then trace_emit t ~ev:"tx_start" frame;
   notify t (Tx_start frame);
   let start = Simulator.now t.sim in
   let airtime = air_time t frame in
@@ -104,12 +120,16 @@ let rec transmit t frame =
     (match t.on_frame_sent with Some f -> f frame | None -> ());
     if lost then begin
       t.frames_lost <- t.frames_lost + 1;
+      if Obs.Trace.enabled t.obs_trace then trace_emit t ~ev:"lost" frame;
       notify t (Lost frame)
     end
-    else
+    else begin
+      t.in_propagation <- t.in_propagation + 1;
       ignore
         (Simulator.schedule_after t.sim ~delay:t.cfg.delay (fun () ->
-             deliver t frame));
+             t.in_propagation <- t.in_propagation - 1;
+             deliver t frame))
+    end;
     match Queue_drop_tail.dequeue t.queue with
     | Some next -> transmit t next
     | None -> t.transmitting <- false
@@ -120,9 +140,13 @@ let send t frame =
   (match t.receiver with
   | None -> failwith ("Wireless_link " ^ t.link_name ^ ": no receiver")
   | Some _ -> ());
+  t.accepted <- t.accepted + 1;
   if t.transmitting then begin
     if Queue_drop_tail.enqueue t.queue frame then notify t (Enqueued frame)
-    else notify t (Dropped frame)
+    else begin
+      if Obs.Trace.enabled t.obs_trace then trace_emit t ~ev:"dropped" frame;
+      notify t (Dropped frame)
+    end
   end
   else transmit t frame
 
@@ -140,3 +164,19 @@ let stats t =
 
 let config t = t.cfg
 let name t = t.link_name
+
+let check_invariants t =
+  Obs.Invariant.require ~name:"link.frame_conservation"
+    (t.accepted
+    = Queue_drop_tail.drops t.queue
+      + Queue_drop_tail.length t.queue
+      + (if t.transmitting then 1 else 0)
+      + t.in_propagation + t.frames_lost + t.frames_delivered)
+    ~detail:(fun () ->
+      Printf.sprintf
+        "%s: accepted=%d but drops=%d queued=%d transmitting=%b \
+         propagating=%d lost=%d delivered=%d"
+        t.link_name t.accepted
+        (Queue_drop_tail.drops t.queue)
+        (Queue_drop_tail.length t.queue)
+        t.transmitting t.in_propagation t.frames_lost t.frames_delivered)

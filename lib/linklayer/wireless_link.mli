@@ -70,3 +70,16 @@ val queue_length : t -> int
 val stats : t -> stats
 val config : t -> config
 val name : t -> string
+
+(** {2 Observability} *)
+
+val set_trace : t -> Obs.Trace.t -> unit
+(** Attach a structured trace; the link then emits [link:<name>]
+    events (tx_start / delivered / lost / dropped).  Independent of
+    {!set_monitor}, which feeds the NS-style trace writer. *)
+
+val check_invariants : t -> unit
+(** Verify frame conservation: every frame accepted by {!send} is
+    accounted for — queued, being serialised, propagating, dropped,
+    lost, or delivered.
+    @raise Obs.Invariant.Violation when frames leak. *)

@@ -15,9 +15,21 @@ let mean = function
 let of_list = function
   | [] -> invalid_arg "Summary.of_list: empty"
   | xs ->
-    let n = List.length xs in
-    let mu = mean xs in
-    let sq_err = List.fold_left (fun acc x -> acc +. ((x -. mu) ** 2.0)) 0.0 xs in
+    let n, sum, mn, mx =
+      List.fold_left
+        (fun (n, sum, mn, mx) x ->
+          (n + 1, sum +. x, Float.min mn x, Float.max mx x))
+        (0, 0.0, Float.infinity, Float.neg_infinity)
+        xs
+    in
+    let mu = sum /. float_of_int n in
+    let sq_err =
+      List.fold_left
+        (fun acc x ->
+          let d = x -. mu in
+          acc +. (d *. d))
+        0.0 xs
+    in
     let stddev =
       if n < 2 then 0.0 else sqrt (sq_err /. float_of_int (n - 1))
     in
@@ -27,8 +39,8 @@ let of_list = function
       stddev;
       stderr = (if n < 2 then 0.0 else stddev /. sqrt (float_of_int n));
       rel_stddev = (if mu = 0.0 then 0.0 else stddev /. Float.abs mu);
-      min = List.fold_left Float.min Float.infinity xs;
-      max = List.fold_left Float.max Float.neg_infinity xs;
+      min = mn;
+      max = mx;
     }
 
 let pp ppf t =

@@ -1,0 +1,12 @@
+type t = { check : bool; trace : bool; metrics : bool }
+
+let off = { check = false; trace = false; metrics = false }
+let checked = { off with check = true }
+let all = { check = true; trace = true; metrics = true }
+
+(* Written once by the CLI front ends before any run starts (and
+   before any domain is spawned), then only read. *)
+let current = ref off
+
+let default () = !current
+let set_default c = current := c

@@ -1,0 +1,16 @@
+(** Minimal JSON-line rendering for observability output.
+
+    Not a general JSON library: just enough to render one flat object
+    per line, with fields in the order given, so that equal field
+    lists produce byte-identical output.  Non-finite floats are not
+    representable in JSON and must not be passed. *)
+
+type value =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+val line : (string * value) list -> string
+(** One JSON object terminated by a newline.  Field order is
+    preserved. *)

@@ -1,0 +1,25 @@
+(** Destinations for observability output.
+
+    Sinks receive complete lines.  The buffer sink accumulates in
+    memory so a run's output can be read back and byte-compared
+    across replications or [jobs=] settings. *)
+
+type t
+
+val null : t
+(** Discards everything. *)
+
+val buffer : unit -> t
+(** Accumulates in memory; read back with {!contents}. *)
+
+val of_channel : out_channel -> t
+(** Writes through to a channel.  The caller owns the channel. *)
+
+val custom : (string -> unit) -> t
+(** Calls the function on every line. *)
+
+val write : t -> string -> unit
+
+val contents : t -> string option
+(** The accumulated bytes of a {!buffer} sink; [None] for other
+    sinks. *)

@@ -1,0 +1,16 @@
+type t = { live : bool; sink : Sink.t }
+
+let disabled = { live = false; sink = Sink.null }
+let create ~sink () = { live = true; sink }
+let[@inline] enabled t = t.live
+
+let emit t ~t_ns ~comp ~ev fields =
+  if t.live then
+    Sink.write t.sink
+      (Jsonl.line
+         (("t", Jsonl.Int t_ns)
+         :: ("comp", Jsonl.Str comp)
+         :: ("ev", Jsonl.Str ev)
+         :: fields))
+
+let contents t = Sink.contents t.sink

@@ -1,0 +1,32 @@
+(** Structured per-run event trace.
+
+    One JSON object per event, with the simulated time in
+    nanoseconds, the emitting component and an event tag, plus
+    event-specific fields.  Emission into a {!disabled} trace is a
+    single branch; instrumented call sites should additionally guard
+    field construction with {!enabled} so the hot path allocates
+    nothing when tracing is off:
+
+    {[
+      if Obs.Trace.enabled tr then
+        Obs.Trace.emit tr ~t_ns ~comp:"tcp" ~ev:"send"
+          [ ("seq", Obs.Jsonl.Int seq) ]
+    ]} *)
+
+type t
+
+val disabled : t
+(** The shared no-op trace. *)
+
+val create : sink:Sink.t -> unit -> t
+(** A live trace writing to [sink]. *)
+
+val enabled : t -> bool
+
+val emit :
+  t -> t_ns:int -> comp:string -> ev:string -> (string * Jsonl.value) list -> unit
+(** Append one event line: [t], [comp] and [ev] first, then the given
+    fields in order. *)
+
+val contents : t -> string option
+(** The bytes accumulated so far, when the sink is a buffer. *)

@@ -30,6 +30,9 @@ type t = {
   mutable on_complete : (unit -> unit) option;
   mutable on_send : (Packet.t -> unit) option;
   mutable on_timeout_hook : (unit -> unit) option;
+  mutable obs_trace : Obs.Trace.t;
+  mutable rtt_hist : Obs.Registry.histogram;
+  mutable cwnd_hist : Obs.Registry.histogram;
 }
 
 let create sim ~config ~conn ~src ~dst ~total_bytes ~alloc_id ~transmit =
@@ -67,7 +70,21 @@ let create sim ~config ~conn ~src ~dst ~total_bytes ~alloc_id ~transmit =
     on_complete = None;
     on_send = None;
     on_timeout_hook = None;
+    obs_trace = Obs.Trace.disabled;
+    rtt_hist = Obs.Registry.histogram Obs.Registry.disabled "tcp.rtt_ticks";
+    cwnd_hist = Obs.Registry.histogram Obs.Registry.disabled "tcp.cwnd_bytes";
   }
+
+let set_obs t ~trace ~metrics =
+  t.obs_trace <- trace;
+  t.rtt_hist <- Obs.Registry.histogram metrics "tcp.rtt_ticks";
+  t.cwnd_hist <- Obs.Registry.histogram metrics "tcp.cwnd_bytes"
+
+let trace_emit t ~ev fields =
+  Obs.Trace.emit t.obs_trace
+    ~t_ns:(Simtime.to_ns (Simulator.now t.sim))
+    ~comp:"tcp" ~ev
+    (("conn", Obs.Jsonl.Int t.conn) :: fields)
 
 let set_on_complete t f = t.on_complete <- Some f
 let set_on_send t f = t.on_send <- Some f
@@ -129,6 +146,15 @@ and emit_segment t ~seq ~len =
   else if
     match t.timing with None -> true | Some _ -> false
   then t.timing <- Some (seq, Simulator.now t.sim);
+  Obs.Registry.observe t.cwnd_hist t.cwnd;
+  if Obs.Trace.enabled t.obs_trace then
+    trace_emit t ~ev:"send"
+      [
+        ("seq", Obs.Jsonl.Int seq);
+        ("len", Obs.Jsonl.Int len);
+        ("retx", Obs.Jsonl.Bool is_retransmit);
+        ("cwnd", Obs.Jsonl.Int (int_of_float t.cwnd));
+      ];
   (match t.on_send with Some f -> f pkt | None -> ());
   t.transmit pkt
 
@@ -152,6 +178,12 @@ and send_window t =
 and on_timeout t =
   t.timer <- None;
   t.stats.Tcp_stats.timeouts <- t.stats.Tcp_stats.timeouts + 1;
+  if Obs.Trace.enabled t.obs_trace then
+    trace_emit t ~ev:"timeout"
+      [
+        ("una", Obs.Jsonl.Int t.snd_una);
+        ("rto_ticks", Obs.Jsonl.Int (Rto.current_ticks t.rto_state));
+      ];
   (match t.on_timeout_hook with Some f -> f () | None -> ());
   (* Timeout value doubles on consecutive losses (paper §1); the
      estimate is only refreshed by an ack of a non-retransmitted
@@ -186,6 +218,8 @@ let complete t =
   if not t.is_complete then begin
     t.is_complete <- true;
     cancel_timer t;
+    if Obs.Trace.enabled t.obs_trace then
+      trace_emit t ~ev:"complete" [ ("total", Obs.Jsonl.Int t.total) ];
     match t.on_complete with Some f -> f () | None -> ()
   end
 
@@ -284,7 +318,9 @@ let handle_ack ?(sack = []) t ~ack =
       t.stats.Tcp_stats.acks_received <- t.stats.Tcp_stats.acks_received + 1;
       (match t.timing with
       | Some (seq, sent_at) when ack > seq ->
-        Rto.sample t.rto_state ~rtt_ticks:(elapsed_ticks t sent_at);
+        let rtt_ticks = elapsed_ticks t sent_at in
+        Rto.sample t.rto_state ~rtt_ticks;
+        Obs.Registry.observe t.rtt_hist (float_of_int rtt_ticks);
         t.stats.Tcp_stats.rtt_samples <- t.stats.Tcp_stats.rtt_samples + 1;
         t.timing <- None
       | Some _ | None -> ());
@@ -345,7 +381,7 @@ let handle_ebsn t =
      an identical timeout value; estimates are untouched.  The scale
      knob exists to reproduce the paper's footnote about too-small /
      too-large replacement values. *)
-  if (not t.is_complete) && timer_pending t then
+  if (not t.is_complete) && timer_pending t then begin
     let scaled =
       int_of_float
         (Float.round (t.cfg.ebsn_rearm_scale *. float_of_int t.timer_ticks))
@@ -354,12 +390,19 @@ let handle_ebsn t =
     let ticks =
       Stdlib.max t.cfg.min_rto_ticks (Stdlib.min t.cfg.max_rto_ticks scaled)
     in
+    if Obs.Trace.enabled t.obs_trace then
+      trace_emit t ~ev:"ebsn_rearm" [ ("ticks", Obs.Jsonl.Int ticks) ];
     arm_timer t ~ticks
+  end
 
 let handle_quench t =
   t.stats.Tcp_stats.quenches_received <- t.stats.Tcp_stats.quenches_received + 1;
   (* BSD tcp_quench: collapse to one segment, leave ssthresh alone. *)
-  if not t.is_complete then t.cwnd <- float_of_int t.cfg.mss
+  if not t.is_complete then begin
+    if Obs.Trace.enabled t.obs_trace then
+      trace_emit t ~ev:"quench" [ ("cwnd", Obs.Jsonl.Int (int_of_float t.cwnd)) ];
+    t.cwnd <- float_of_int t.cfg.mss
+  end
 
 let start t = send_window t
 
@@ -372,3 +415,24 @@ let set_available t bytes =
 let restrict_available t bytes =
   if bytes < 0 then invalid_arg "Tahoe_sender.restrict_available: negative";
   t.available <- Stdlib.min bytes t.total
+
+let check_invariants t =
+  Obs.Invariant.require ~name:"tcp.sequence_order"
+    (0 <= t.snd_una && t.snd_una <= t.snd_nxt && t.snd_nxt <= t.max_sent
+    && t.max_sent <= t.total)
+    ~detail:(fun () ->
+      Printf.sprintf "conn %d: una=%d nxt=%d max_sent=%d total=%d" t.conn
+        t.snd_una t.snd_nxt t.max_sent t.total);
+  Obs.Invariant.require ~name:"tcp.cwnd_floor"
+    (t.cwnd >= float_of_int t.cfg.mss)
+    ~detail:(fun () ->
+      Printf.sprintf "conn %d: cwnd=%g < mss=%d" t.conn t.cwnd t.cfg.mss);
+  Obs.Invariant.require ~name:"tcp.timer_after_complete"
+    (not (t.is_complete && timer_pending t))
+    ~detail:(fun () ->
+      Printf.sprintf "conn %d: retransmission timer armed after completion"
+        t.conn)
+
+module For_testing = struct
+  let corrupt_sequence_state t = t.snd_una <- t.snd_nxt + 1
+end

@@ -104,3 +104,26 @@ val timer_pending : t -> bool
 
 val in_fast_recovery : t -> bool
 (** [true] while a Reno sender is in fast recovery. *)
+
+(** {2 Observability} *)
+
+val set_obs : t -> trace:Obs.Trace.t -> metrics:Obs.Registry.t -> unit
+(** Attach a structured trace and a metrics registry.  The sender then
+    emits [tcp] trace events (send / timeout / ebsn_rearm / quench /
+    complete) and feeds the [tcp.rtt_ticks] and [tcp.cwnd_bytes]
+    histograms.  With the defaults ({!Obs.Trace.disabled},
+    {!Obs.Registry.disabled}) every instrumentation site is a single
+    dead branch. *)
+
+val check_invariants : t -> unit
+(** Verify internal consistency: sequence-number ordering
+    [0 <= snd_una <= snd_nxt <= max_sent <= total], the congestion
+    window never below one segment, and no retransmission timer armed
+    after completion.
+    @raise Obs.Invariant.Violation on the first failing check. *)
+
+(** Deliberate state corruption, for exercising the invariant checker
+    in tests.  Never call outside a test. *)
+module For_testing : sig
+  val corrupt_sequence_state : t -> unit
+end

@@ -19,6 +19,8 @@ type outcome = {
   ebsn_sent : int;
   quench_sent : int;
   nstrace : string option;
+  obs_trace : string option;
+  obs_metrics : string option;
   end_time : Simtime.t;
 }
 
@@ -37,13 +39,25 @@ let build_channel sim (w : Scenario.wireless) =
       ~rng:(Rng.split (Simulator.rng sim))
       ~mean_good:w.Scenario.mean_good ~mean_bad:w.Scenario.mean_bad
 
-let run (scenario : Scenario.t) =
+let run ?obs (scenario : Scenario.t) =
   let open Scenario in
   let sim = Simulator.create ~seed:scenario.seed () in
   let packet_ids = Ids.create () in
   let alloc_id () = Ids.next packet_ids in
   let frame_ids = Ids.create () in
   let trace = Metrics.Trace.create () in
+  let obs_cfg =
+    match obs with Some cfg -> cfg | None -> Obs.Config.default ()
+  in
+  let obs_trace =
+    if obs_cfg.Obs.Config.trace then
+      Obs.Trace.create ~sink:(Obs.Sink.buffer ()) ()
+    else Obs.Trace.disabled
+  in
+  let registry =
+    if obs_cfg.Obs.Config.metrics then Obs.Registry.create ()
+    else Obs.Registry.disabled
+  in
 
   (* Channel: one state process shared by both wireless directions, so
      acks die in the same fades as data (paper §4.2.1). *)
@@ -128,6 +142,14 @@ let run (scenario : Scenario.t) =
            ~config:scenario.arq ~link:uplink)
     else None
   in
+  Wireless_link.set_trace downlink obs_trace;
+  Wireless_link.set_trace uplink obs_trace;
+  Option.iter
+    (fun arq -> Arq.set_obs arq ~trace:obs_trace ~metrics:registry)
+    downlink_arq;
+  Option.iter
+    (fun arq -> Arq.set_obs arq ~trace:obs_trace ~metrics:registry)
+    uplink_arq;
 
   let fragment (w : Scenario.wireless) pkt =
     match w.mtu with
@@ -234,6 +256,24 @@ let run (scenario : Scenario.t) =
       ~peer:sink_peer ~expected_bytes:scenario.file_bytes ~alloc_id
       ~transmit:(Node.send mh)
   in
+  Tahoe_sender.set_obs sender ~trace:obs_trace ~metrics:registry;
+  if obs_cfg.Obs.Config.check then begin
+    Simulator.set_checked sim true;
+    Simulator.add_invariant sim (fun () ->
+        Tahoe_sender.check_invariants sender);
+    Simulator.add_invariant sim (fun () ->
+        Wireless_link.check_invariants downlink);
+    Simulator.add_invariant sim (fun () ->
+        Wireless_link.check_invariants uplink);
+    Option.iter
+      (fun arq ->
+        Simulator.add_invariant sim (fun () -> Arq.check_invariants arq))
+      downlink_arq;
+    Option.iter
+      (fun arq ->
+        Simulator.add_invariant sim (fun () -> Arq.check_invariants arq))
+      uplink_arq
+  end;
 
   (* Agents. *)
   let snoop =
@@ -266,7 +306,7 @@ let run (scenario : Scenario.t) =
   (match downlink_arq with
   | None -> ()
   | Some arq ->
-    let ebsn_gate = Feedback.Ebsn.gate scenario.ebsn_pacing in
+    let ebsn_gate = Feedback.Ebsn.gate ~trace:obs_trace scenario.ebsn_pacing in
     let quench_gate =
       Feedback.Source_quench.gate scenario.quench_trigger
         ~min_interval:scenario.quench_min_interval
@@ -284,7 +324,8 @@ let run (scenario : Scenario.t) =
               incr ebsn_sent;
               Node.send bs
                 (Feedback.Ebsn.make ~alloc_id ~src:bs_addr
-                   ~dst:pkt.Packet.src ~conn ~now)
+                   ~dst:pkt.Packet.src ~conn ~now);
+              Feedback.Ebsn.record ebsn_gate ~conn ~now
             end
           | Quench ->
             if Feedback.Source_quench.admit_failure quench_gate ~conn ~now
@@ -372,6 +413,56 @@ let run (scenario : Scenario.t) =
            ~file_bytes:scenario.file_bytes ~start_time)
     else None
   in
+  (* Fold the run's final counters into the registry, so the metrics
+     output carries both histograms (sampled live) and totals. *)
+  let obs_metrics =
+    if not (Obs.Registry.enabled registry) then None
+    else begin
+      let c name v = Obs.Registry.add (Obs.Registry.counter registry name) v in
+      let qs = Simulator.queue_stats sim in
+      c "engine.events_executed" (Simulator.events_executed sim);
+      c "engine.queue.adds" qs.Event_queue.adds;
+      c "engine.queue.pops" qs.Event_queue.pops;
+      c "engine.queue.cancels" qs.Event_queue.cancels;
+      c "engine.queue.max_size" qs.Event_queue.max_size;
+      let st = Tahoe_sender.stats sender in
+      c "tcp.packets_sent" st.Tcp_stats.packets_sent;
+      c "tcp.bytes_sent" st.Tcp_stats.bytes_sent;
+      c "tcp.packets_retransmitted" st.Tcp_stats.packets_retransmitted;
+      c "tcp.bytes_retransmitted" st.Tcp_stats.bytes_retransmitted;
+      c "tcp.acks_received" st.Tcp_stats.acks_received;
+      c "tcp.dupacks_received" st.Tcp_stats.dupacks_received;
+      c "tcp.timeouts" st.Tcp_stats.timeouts;
+      c "tcp.fast_retransmits" st.Tcp_stats.fast_retransmits;
+      c "tcp.rtt_samples" st.Tcp_stats.rtt_samples;
+      c "tcp.ebsns_received" st.Tcp_stats.ebsns_received;
+      c "tcp.quenches_received" st.Tcp_stats.quenches_received;
+      let link prefix (ls : Wireless_link.stats) =
+        c (prefix ^ ".frames_sent") ls.Wireless_link.frames_sent;
+        c (prefix ^ ".air_bytes") ls.Wireless_link.air_bytes;
+        c (prefix ^ ".frames_lost") ls.Wireless_link.frames_lost;
+        c (prefix ^ ".frames_delivered") ls.Wireless_link.frames_delivered;
+        c (prefix ^ ".drops") ls.Wireless_link.drops
+      in
+      link "link.down" (Wireless_link.stats downlink);
+      link "link.up" (Wireless_link.stats uplink);
+      let arq prefix a =
+        let s = Arq.stats a in
+        c (prefix ^ ".transmissions") s.Arq.transmissions;
+        c (prefix ^ ".retransmissions") s.Arq.retransmissions;
+        c (prefix ^ ".completions") s.Arq.completions;
+        c (prefix ^ ".discards") s.Arq.discards;
+        c (prefix ^ ".attempt_failures") s.Arq.attempt_failures;
+        c (prefix ^ ".spurious_acks") s.Arq.spurious_acks;
+        c (prefix ^ ".sched_drops") s.Arq.sched_drops
+      in
+      Option.iter (arq "arq.down") downlink_arq;
+      Option.iter (arq "arq.up") uplink_arq;
+      c "feedback.ebsn_sent" !ebsn_sent;
+      c "feedback.quench_sent" !quench_sent;
+      Some (Obs.Registry.to_jsonl registry)
+    end
+  in
   {
     scenario;
     completed;
@@ -388,6 +479,8 @@ let run (scenario : Scenario.t) =
     ebsn_sent = !ebsn_sent;
     quench_sent = !quench_sent;
     nstrace = Option.map Metrics.Nstrace.to_string nstrace;
+    obs_trace = Obs.Trace.contents obs_trace;
+    obs_metrics;
     end_time = Simulator.now sim;
   }
 

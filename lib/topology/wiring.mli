@@ -24,12 +24,22 @@ type outcome = {
   nstrace : string option;
       (** NS-style per-link event trace, iff the scenario asked for
           one *)
+  obs_trace : string option;
+      (** structured JSONL event trace, iff the run enabled tracing *)
+  obs_metrics : string option;
+      (** metrics registry rendered as JSONL, iff the run enabled
+          metrics *)
   end_time : Sim_engine.Simtime.t;
 }
 
-val run : Scenario.t -> outcome
+val run : ?obs:Obs.Config.t -> Scenario.t -> outcome
 (** Execute the scenario.  Deterministic: equal scenarios (including
-    seed) produce equal outcomes. *)
+    seed) produce equal outcomes — including the observability
+    output, which is byte-identical across replications and [jobs=]
+    settings.  [obs] (default {!Obs.Config.default}) selects invariant
+    checking ({!Obs.Invariant.Violation} raised out of the run on the
+    first violated invariant), structured tracing and metrics
+    collection. *)
 
 val throughput_bps : outcome -> float
 (** The paper's throughput metric (0 when the run did not

@@ -311,6 +311,45 @@ let test_sim_until_horizon () =
   Simulator.run sim;
   Alcotest.(check int) "rest run later" 2 !fired
 
+let test_sim_clock_reaches_drained_horizon () =
+  (* Regression: when the queue drains before the horizon, the clock
+     must still advance to [until], exactly as it does when the next
+     event lies beyond the horizon. *)
+  let sim = Simulator.create () in
+  let fired = ref 0 in
+  ignore (Simulator.schedule sim ~at:(Simtime.of_ns 10) (fun () -> incr fired));
+  Simulator.run ~until:(Simtime.of_ns 50) sim;
+  Alcotest.(check int) "event fired" 1 !fired;
+  Alcotest.(check int) "clock at the horizon" 50
+    (Simtime.to_ns (Simulator.now sim));
+  (* An empty queue behaves the same. *)
+  let sim2 = Simulator.create () in
+  Simulator.run ~until:(Simtime.of_ns 25) sim2;
+  Alcotest.(check int) "empty queue still advances" 25
+    (Simtime.to_ns (Simulator.now sim2));
+  (* Scheduling relative to the stop time now works after a drain. *)
+  ignore (Simulator.schedule sim ~at:(Simtime.of_ns 50) (fun () -> incr fired));
+  Simulator.run sim;
+  Alcotest.(check int) "event at the horizon runs" 2 !fired
+
+let test_sim_stop_leaves_clock () =
+  (* stop, and an exhausted max_events, must NOT advance to the
+     horizon: work is still pending. *)
+  let sim = Simulator.create () in
+  ignore (Simulator.schedule sim ~at:(Simtime.of_ns 10) (fun () ->
+      Simulator.stop sim));
+  ignore (Simulator.schedule sim ~at:(Simtime.of_ns 20) (fun () -> ()));
+  Simulator.run ~until:(Simtime.of_ns 90) sim;
+  Alcotest.(check int) "stop leaves the clock at the last event" 10
+    (Simtime.to_ns (Simulator.now sim));
+  let sim2 = Simulator.create () in
+  for i = 1 to 5 do
+    ignore (Simulator.schedule sim2 ~at:(Simtime.of_ns i) (fun () -> ()))
+  done;
+  Simulator.run ~until:(Simtime.of_ns 90) ~max_events:2 sim2;
+  Alcotest.(check int) "max_events leaves the clock at the last event" 2
+    (Simtime.to_ns (Simulator.now sim2))
+
 let test_sim_stop () =
   let sim = Simulator.create () in
   let fired = ref 0 in
@@ -378,6 +417,10 @@ let () =
           Alcotest.test_case "past rejected" `Quick test_sim_past_rejected;
           Alcotest.test_case "cancel" `Quick test_sim_cancel;
           Alcotest.test_case "until horizon" `Quick test_sim_until_horizon;
+          Alcotest.test_case "drained queue reaches horizon" `Quick
+            test_sim_clock_reaches_drained_horizon;
+          Alcotest.test_case "stop leaves clock" `Quick
+            test_sim_stop_leaves_clock;
           Alcotest.test_case "stop" `Quick test_sim_stop;
           Alcotest.test_case "max events" `Quick test_sim_max_events;
           Alcotest.test_case "step" `Quick test_sim_step;

@@ -36,6 +36,7 @@ let test_ebsn_min_interval () =
   let gate = Ebsn.gate (Ebsn.Min_interval (Simtime.span_ms 100)) in
   Alcotest.(check bool) "first admitted" true
     (Ebsn.admit gate ~conn:0 ~now:(at_ms 0));
+  Ebsn.record gate ~conn:0 ~now:(at_ms 0);
   Alcotest.(check bool) "too soon" false
     (Ebsn.admit gate ~conn:0 ~now:(at_ms 50));
   Alcotest.(check bool) "after the interval" true
@@ -47,9 +48,31 @@ let test_ebsn_min_interval () =
 let test_ebsn_min_interval_not_consumed_by_rejection () =
   let gate = Ebsn.gate (Ebsn.Min_interval (Simtime.span_ms 100)) in
   ignore (Ebsn.admit gate ~conn:0 ~now:(at_ms 0));
+  Ebsn.record gate ~conn:0 ~now:(at_ms 0);
   ignore (Ebsn.admit gate ~conn:0 ~now:(at_ms 99));
   Alcotest.(check bool) "rejection does not reset the clock" true
     (Ebsn.admit gate ~conn:0 ~now:(at_ms 100))
+
+let test_ebsn_admit_without_record_does_not_suppress () =
+  (* An admitted notification that is never injected (e.g. dropped
+     before the wire) must not start the suppression window: only
+     [record] does. *)
+  let gate = Ebsn.gate (Ebsn.Min_interval (Simtime.span_ms 100)) in
+  Alcotest.(check bool) "admitted" true
+    (Ebsn.admit gate ~conn:0 ~now:(at_ms 0));
+  (* No record: the notification was lost before injection. *)
+  Alcotest.(check bool) "next attempt not suppressed" true
+    (Ebsn.admit gate ~conn:0 ~now:(at_ms 1));
+  Ebsn.record gate ~conn:0 ~now:(at_ms 1);
+  Alcotest.(check bool) "recorded send suppresses" false
+    (Ebsn.admit gate ~conn:0 ~now:(at_ms 100));
+  Alcotest.(check bool) "window measured from the record" true
+    (Ebsn.admit gate ~conn:0 ~now:(at_ms 101));
+  (* Every_attempt pacing keeps no state; record is a no-op. *)
+  let ea = Ebsn.gate Ebsn.Every_attempt in
+  Ebsn.record ea ~conn:0 ~now:(at_ms 0);
+  Alcotest.(check bool) "every_attempt unaffected" true
+    (Ebsn.admit ea ~conn:0 ~now:(at_ms 0))
 
 (* ------------------------------------------------------------------ *)
 (* Source quench                                                       *)
@@ -136,6 +159,8 @@ let () =
           Alcotest.test_case "min interval" `Quick test_ebsn_min_interval;
           Alcotest.test_case "rejection keeps clock" `Quick
             test_ebsn_min_interval_not_consumed_by_rejection;
+          Alcotest.test_case "admit without record" `Quick
+            test_ebsn_admit_without_record_does_not_suppress;
         ] );
       ( "quench",
         [

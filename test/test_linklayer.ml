@@ -483,6 +483,34 @@ let test_arq_spurious_ack_counted () =
   Arq.handle_link_ack rig.arq ~acked_seq:99;
   Alcotest.(check int) "spurious" 1 (Arq.stats rig.arq).Arq.spurious_acks
 
+let test_arq_early_link_ack_deferred () =
+  (* Regression: a link ack arriving while the frame is still being
+     serialised (e.g. the ack of a previous attempt racing a
+     retransmission) must not release the window slot early — that
+     desynchronised [slots_held] from the link's pending frame-sent
+     notification. *)
+  let rig = make_rig () in
+  ignore (Arq.send rig.arq ~conn:0 (Frame.Whole (mk_data ~id:0 ~len:88 ())));
+  Arq.handle_link_ack rig.arq ~acked_seq:0;
+  Alcotest.(check int) "completion deferred while in the link" 1
+    (Arq.in_flight rig.arq);
+  Alcotest.(check int) "not yet completed" 0
+    (Arq.stats rig.arq).Arq.completions;
+  Arq.check_invariants rig.arq;
+  (* A duplicate early ack is spurious, not a second completion. *)
+  Arq.handle_link_ack rig.arq ~acked_seq:0;
+  Alcotest.(check int) "duplicate early ack spurious" 1
+    (Arq.stats rig.arq).Arq.spurious_acks;
+  Simulator.run rig.sim;
+  let stats = Arq.stats rig.arq in
+  Alcotest.(check int) "exactly one completion" 1 stats.Arq.completions;
+  Alcotest.(check int) "no retransmission of an acked frame" 0
+    stats.Arq.retransmissions;
+  (* dup early ack + the receiver's genuine ack after release *)
+  Alcotest.(check int) "late genuine ack spurious" 2 stats.Arq.spurious_acks;
+  Alcotest.(check bool) "idle" true (Arq.idle rig.arq);
+  Arq.check_invariants rig.arq
+
 let test_receiver_resequences () =
   let sim = Simulator.create () in
   let delivered = ref [] in
@@ -634,6 +662,8 @@ let () =
           Alcotest.test_case "window bounds in-flight" `Quick
             test_arq_window_limits_inflight;
           Alcotest.test_case "spurious ack" `Quick test_arq_spurious_ack_counted;
+          Alcotest.test_case "early link ack deferred" `Quick
+            test_arq_early_link_ack_deferred;
         ] );
       ( "arq_receiver",
         [

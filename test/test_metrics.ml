@@ -26,6 +26,30 @@ let test_summary_empty_rejected () =
   Alcotest.check_raises "empty" (Invalid_argument "Summary.of_list: empty")
     (fun () -> ignore (Summary.of_list []))
 
+let test_summary_matches_reference_formulas () =
+  (* Pin of_list to the textbook multi-pass formulas it replaced, so
+     the single-pass implementation cannot drift numerically. *)
+  let xs = [ 3.25; -17.5; 0.0; 1024.125; 3.25; 99.9; -0.001 ] in
+  let n = List.length xs in
+  let mu = List.fold_left ( +. ) 0.0 xs /. float_of_int n in
+  let sq_err = List.fold_left (fun acc x -> acc +. ((x -. mu) ** 2.0)) 0.0 xs in
+  let stddev = sqrt (sq_err /. float_of_int (n - 1)) in
+  let s = Summary.of_list xs in
+  Alcotest.(check int) "count" n s.Summary.count;
+  Alcotest.(check (float 0.0)) "mean bit-identical" mu s.Summary.mean;
+  Alcotest.(check (float 0.0)) "stddev bit-identical" stddev s.Summary.stddev;
+  Alcotest.(check (float 0.0)) "stderr"
+    (stddev /. sqrt (float_of_int n))
+    s.Summary.stderr;
+  Alcotest.(check (float 0.0)) "rel stddev" (stddev /. Float.abs mu)
+    s.Summary.rel_stddev;
+  Alcotest.(check (float 0.0)) "min"
+    (List.fold_left Float.min Float.infinity xs)
+    s.Summary.min;
+  Alcotest.(check (float 0.0)) "max"
+    (List.fold_left Float.max Float.neg_infinity xs)
+    s.Summary.max
+
 let prop_summary_mean_within_range =
   QCheck2.Test.make ~name:"mean lies within [min,max]" ~count:300
     QCheck2.Gen.(list_size (int_range 1 40) (float_range (-1000.) 1000.))
@@ -179,6 +203,8 @@ let () =
           Alcotest.test_case "single" `Quick test_summary_single;
           Alcotest.test_case "known values" `Quick test_summary_known_values;
           Alcotest.test_case "empty rejected" `Quick test_summary_empty_rejected;
+          Alcotest.test_case "reference formulas" `Quick
+            test_summary_matches_reference_formulas;
           qc prop_summary_mean_within_range;
           qc prop_summary_stddev_nonneg;
         ] );

@@ -170,8 +170,11 @@ let prop_fragment_reassembly_roundtrip =
 
 (* A loopback ARQ rig over a channel built from a random state trace;
    the ack path is clean.  With unlimited retries, everything must
-   arrive exactly once and in order. *)
-let arq_rig ~channel ~rt_max ~n_packets ~seed =
+   arrive exactly once and in order.  [hole_timeout] is how long the
+   receiver-side resequencer waits on a gap before releasing what it
+   has: in-order properties need one longer than the worst retry
+   burst, or the resequencer legitimately reorders. *)
+let arq_rig ~channel ~rt_max ~hole_timeout ~n_packets ~seed =
   let sim = Simulator.create ~seed () in
   let config =
     Wireless_link.
@@ -215,7 +218,7 @@ let arq_rig ~channel ~rt_max ~n_packets ~seed =
       ~send_ack:(fun ~acked_seq ->
         Wireless_link.send up
           { Frame.seq = Ids.next ack_ids; payload = Frame.Link_ack { acked_seq } })
-      ~resequence:{ Arq_receiver.hole_timeout = sec 3.0 }
+      ~resequence:{ Arq_receiver.hole_timeout }
       ~deliver:(fun payload ->
         match payload with
         | Frame.Whole pkt -> delivered := pkt.Packet.id :: !delivered
@@ -251,7 +254,12 @@ let prop_arq_reliable_with_unbounded_retries =
     QCheck2.Gen.(pair (int_range 1 30) (int_range 0 10_000))
     (fun (n_packets, seed) ->
       let channel = random_channel ~seed in
-      let arq, delivered = arq_rig ~channel ~rt_max:1000 ~n_packets ~seed in
+      (* The resequencer must outlast any retry burst (e.g. n=10,
+         seed=71 needs > 3 s on packet 3), or it reorders by design. *)
+      let arq, delivered =
+        arq_rig ~channel ~rt_max:1000 ~hole_timeout:(sec 600.0) ~n_packets
+          ~seed
+      in
       delivered = List.init n_packets Fun.id
       && (Arq.stats arq).Arq.discards = 0)
 
@@ -262,7 +270,9 @@ let prop_arq_no_duplicates_ever =
     QCheck2.Gen.(pair (int_range 1 30) (int_range 0 10_000))
     (fun (n_packets, seed) ->
       let channel = random_channel ~seed in
-      let _, delivered = arq_rig ~channel ~rt_max:3 ~n_packets ~seed in
+      let _, delivered =
+        arq_rig ~channel ~rt_max:3 ~hole_timeout:(sec 3.0) ~n_packets ~seed
+      in
       let sorted = List.sort_uniq compare delivered in
       List.length sorted = List.length delivered)
 
