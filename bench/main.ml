@@ -20,9 +20,11 @@
    ablation-flavor, ablation-delack, ablation-congestion,
    ablation-sched, ablation-handoff, micro (Bechamel engine
    micro-benchmarks), parallel (sequential vs parallel wall-clock,
-   recorded in BENCH_parallel.json), obs (observability determinism:
-   trace+metrics byte-identical at any jobs=N).  No target runs
-   everything. *)
+   recorded in BENCH_parallel.json), engine (event-queue ops/sec and
+   end-to-end events/sec vs the recorded pre-PR baseline, plus a
+   fig7/fig10 byte-identity check, recorded in BENCH_engine.json),
+   obs (observability determinism: trace+metrics byte-identical at
+   any jobs=N).  No target runs everything. *)
 
 let replications = ref 10
 let jobs = ref (Core.Parallel.default_jobs ())
@@ -331,6 +333,237 @@ let parallel_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Engine hot path (BENCH_engine.json)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Pre-PR baseline: wall-clock of the exact end-to-end batches below,
+   measured on the reference machine at commit 17ccb7b (array-of-
+   records binary heap, lazy deletion without compaction, untuned GC;
+   best of 4 trials).  The simulation is deterministic, so the event
+   totals of the batches are engine-independent: the recorded seconds
+   reconstruct the pre-PR events/sec against today's event count. *)
+let pre_pr_wan_sec = 0.4048
+let pre_pr_lan_sec = 0.0982
+
+(* MD5 of the fig7 / fig10 CSVs at reps=3, captured at the same
+   commit (identical at jobs=1 and jobs=4).  The engine target fails
+   hard if the rebuilt event queue ever reorders a single pop: ties
+   are broken by insertion order, and that contract must survive any
+   heap layout. *)
+let pre_pr_fig7_md5 = "5964875618a07db07de4f4b01357197f"
+let pre_pr_fig10_md5 = "6a785698082a6381fa59aac6710439b5"
+
+let wan_batch () =
+  let events = ref 0 in
+  for seed = 1 to 100 do
+    let o = Core.Wiring.run (Core.Scenario.wan ~scheme:Core.Scenario.Ebsn ~seed ()) in
+    events := !events + o.Core.Wiring.events_executed
+  done;
+  !events
+
+let lan_batch () =
+  let events = ref 0 in
+  for seed = 1 to 60 do
+    let o =
+      Core.Wiring.run
+        (Core.Scenario.lan ~scheme:Core.Scenario.Ebsn
+           ~file_bytes:(512 * 1024) ~seed ())
+    in
+    events := !events + o.Core.Wiring.events_executed
+  done;
+  !events
+
+(* Best wall-clock over [trials] runs of [f]; returns (f's result,
+   best seconds). *)
+let timed_best trials f =
+  let best = ref infinity in
+  let result = ref 0 in
+  for _ = 1 to trials do
+    let t0 = Unix.gettimeofday () in
+    result := f ();
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  (!result, !best)
+
+(* Synthetic event-queue workloads at a steady live size, driven by a
+   deterministic LCG so every run times the identical op sequence. *)
+let queue_mix ~cancel_heavy ~live ~iters =
+  let q = Core.Event_queue.create () in
+  let state = ref 0x123456789 in
+  let next_time () =
+    (* The 48-bit LCG from POSIX drand48: deterministic, cheap, and
+       spread well enough to exercise arbitrary sift paths. *)
+    state := ((!state * 0x5DEECE66D) + 0xB) land 0xFFFFFFFFFFFF;
+    Core.Simtime.of_ns (!state land 0x3FFFFFFF)
+  in
+  let handles = Array.init live (fun i ->
+      Core.Event_queue.add q ~time:(next_time ()) i)
+  in
+  let ops = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  if cancel_heavy then
+    (* The RTO pattern: every ACK re-arms the retransmission timer, so
+       almost every scheduled event is cancelled before it can fire;
+       one in 16 survives to pop (a genuine timeout / departure). *)
+    for i = 0 to iters - 1 do
+      let k = i mod live in
+      Core.Event_queue.cancel q handles.(k);
+      handles.(k) <- Core.Event_queue.add q ~time:(next_time ()) i;
+      ops := !ops + 2;
+      if i land 15 = 0 then begin
+        (match Core.Event_queue.pop q with
+        | Some (_, v) -> handles.(v mod live) <- Core.Event_queue.add q ~time:(next_time ()) v
+        | None -> ());
+        ops := !ops + 2
+      end
+    done
+  else
+    for i = 0 to iters - 1 do
+      (match Core.Event_queue.pop q with Some _ -> () | None -> ());
+      handles.(i mod live) <- Core.Event_queue.add q ~time:(next_time ()) i;
+      ops := !ops + 2
+    done;
+  let dt = Unix.gettimeofday () -. t0 in
+  float_of_int !ops /. dt
+
+let engine_bench () =
+  let trials = Stdlib.max 1 (Stdlib.min !replications 3) in
+  (* 1. Event-queue ops/sec at several live sizes. *)
+  let live_sizes = [ 256; 4096; 65536 ] in
+  let queue_rows =
+    List.concat_map
+      (fun live ->
+        let iters = 400_000 in
+        let ap = queue_mix ~cancel_heavy:false ~live ~iters in
+        let acp = queue_mix ~cancel_heavy:true ~live ~iters in
+        [ ("add/pop", live, ap); ("add/cancel/pop", live, acp) ])
+      live_sizes
+  in
+  (* 2. End-to-end simulator events/sec, WAN and LAN, under the
+     default GC and under Parallel.tune_gc's settings. *)
+  ignore (wan_batch ()) (* warm up *);
+  let wan_events, wan_default_sec = timed_best trials wan_batch in
+  let lan_events, lan_default_sec = timed_best trials lan_batch in
+  let saved_gc = Gc.get () in
+  Core.Parallel.tune_gc ();
+  let _, wan_tuned_sec = timed_best trials wan_batch in
+  let _, lan_tuned_sec = timed_best trials lan_batch in
+  Gc.set saved_gc;
+  let wan_sec = Stdlib.min wan_default_sec wan_tuned_sec in
+  let lan_sec = Stdlib.min lan_default_sec lan_tuned_sec in
+  let eps events sec = float_of_int events /. sec in
+  let wan_speedup = pre_pr_wan_sec /. wan_sec in
+  let lan_speedup = pre_pr_lan_sec /. lan_sec in
+  (* 3. Byte-identity safety net against the pre-PR engine. *)
+  let fig7_csv jobs =
+    Core.Wan_sweep.to_csv (Core.Fig7.compute ~replications:3 ~jobs ())
+  in
+  let fig10_csv jobs =
+    let basic, ebsn = Core.Fig10.compute ~replications:3 ~jobs () in
+    Core.Lan_sweep.to_csv [ basic; ebsn ]
+  in
+  let digest csv = Digest.to_hex (Digest.string csv) in
+  let identity =
+    [
+      ("fig7", 1, digest (fig7_csv 1), pre_pr_fig7_md5);
+      ("fig7", !jobs, digest (fig7_csv !jobs), pre_pr_fig7_md5);
+      ("fig10", 1, digest (fig10_csv 1), pre_pr_fig10_md5);
+      ("fig10", !jobs, digest (fig10_csv !jobs), pre_pr_fig10_md5);
+    ]
+  in
+  let identical = List.for_all (fun (_, _, got, want) -> got = want) identity in
+  section
+    (String.concat "\n"
+       [
+         Core.Report.heading "Engine hot path — event-queue ops/sec";
+         Core.Report.table
+           ~columns:[ "mix"; "live size"; "Mops/s" ]
+           ~rows:
+             (List.map
+                (fun (mix, live, ops) ->
+                  [ mix; string_of_int live; Printf.sprintf "%.2f" (ops /. 1e6) ])
+                queue_rows);
+         "";
+         Core.Report.heading "Engine hot path — end-to-end events/sec";
+         Core.Report.table
+           ~columns:
+             [ "scenario"; "events"; "wall-clock"; "Mev/s"; "vs pre-PR" ]
+           ~rows:
+             [
+               [
+                 "wan (ebsn, 100 seeds)";
+                 string_of_int wan_events;
+                 Printf.sprintf "%.3f s" wan_sec;
+                 Printf.sprintf "%.2f" (eps wan_events wan_sec /. 1e6);
+                 Printf.sprintf "%.2fx" wan_speedup;
+               ];
+               [
+                 "lan (ebsn, 60 seeds)";
+                 string_of_int lan_events;
+                 Printf.sprintf "%.3f s" lan_sec;
+                 Printf.sprintf "%.2f" (eps lan_events lan_sec /. 1e6);
+                 Printf.sprintf "%.2fx" lan_speedup;
+               ];
+             ];
+         Core.Report.note
+           (Printf.sprintf
+              "gc: wan %.3fs default / %.3fs tuned; lan %.3fs / %.3fs; \
+               fig7+fig10 byte-identical to pre-PR at jobs=1 and jobs=%d: %b"
+              wan_default_sec wan_tuned_sec lan_default_sec lan_tuned_sec
+              !jobs identical);
+       ]);
+  let oc = open_out "BENCH_engine.json" in
+  Printf.fprintf oc "{\n  \"target\": \"engine\",\n  \"queue_ops\": [\n";
+  let n = List.length queue_rows in
+  List.iteri
+    (fun i (mix, live, ops) ->
+      Printf.fprintf oc
+        "    {\"mix\": %S, \"live\": %d, \"ops_per_sec\": %.0f}%s\n" mix live
+        ops
+        (if i = n - 1 then "" else ","))
+    queue_rows;
+  Printf.fprintf oc "  ],\n";
+  let scenario_json name events sec default_sec tuned_sec pre_sec speedup =
+    Printf.fprintf oc
+      "  \"%s\": {\n\
+      \    \"events\": %d,\n\
+      \    \"sec\": %.4f,\n\
+      \    \"gc_default_sec\": %.4f,\n\
+      \    \"gc_tuned_sec\": %.4f,\n\
+      \    \"events_per_sec\": %.0f,\n\
+      \    \"pre_pr_sec\": %.4f,\n\
+      \    \"pre_pr_events_per_sec\": %.0f,\n\
+      \    \"speedup_vs_pre_pr\": %.3f\n\
+      \  },\n"
+      name events sec default_sec tuned_sec
+      (eps events sec)
+      pre_sec
+      (eps events pre_sec)
+      speedup
+  in
+  scenario_json "wan" wan_events wan_sec wan_default_sec wan_tuned_sec
+    pre_pr_wan_sec wan_speedup;
+  scenario_json "lan" lan_events lan_sec lan_default_sec lan_tuned_sec
+    pre_pr_lan_sec lan_speedup;
+  Printf.fprintf oc "  \"identity\": {\n    \"jobs\": [1, %d],\n" !jobs;
+  Printf.fprintf oc "    \"fig7_md5\": %S,\n    \"fig10_md5\": %S,\n"
+    pre_pr_fig7_md5 pre_pr_fig10_md5;
+  Printf.fprintf oc "    \"identical_to_pre_pr\": %b\n  }\n}\n" identical;
+  close_out oc;
+  print_endline "wrote BENCH_engine.json";
+  if not identical then begin
+    List.iter
+      (fun (fig, jobs, got, want) ->
+        if got <> want then
+          Printf.eprintf "FAIL: %s at jobs=%d digests %s, pre-PR was %s\n" fig
+            jobs got want)
+      identity;
+    prerr_endline "FAIL: engine output differs from the pre-PR engine";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Observability determinism                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -444,6 +677,7 @@ let targets =
     ("ablation-handoff", ablation_handoff);
     ("micro", micro);
     ("parallel", parallel_bench);
+    ("engine", engine_bench);
     ("obs", obs_bench);
   ]
 

@@ -169,6 +169,19 @@ let scenario_term =
 (* run                                                                 *)
 (* ------------------------------------------------------------------ *)
 
+let print_engine_stats outcome =
+  let open Core in
+  let qs = outcome.Wiring.queue_stats in
+  Printf.printf "engine:     %d events executed\n"
+    outcome.Wiring.events_executed;
+  Printf.printf
+    "queue:      %d adds (%d recycled), %d pops, %d cancels; peak heap %d\n"
+    qs.Event_queue.adds qs.Event_queue.recycled qs.Event_queue.pops
+    qs.Event_queue.cancels qs.Event_queue.max_size;
+  Printf.printf
+    "cleanup:    %d dead nodes dropped lazily, %d compaction sweeps\n"
+    qs.Event_queue.dead_drops qs.Event_queue.compactions
+
 let print_outcome scenario outcome =
   let open Core in
   Printf.printf "scenario: %s\n" (Scenario.describe scenario);
@@ -232,7 +245,15 @@ let run_cmd =
           ~doc:"Write the metrics registry (JSONL, sorted by name) to \
                 $(docv).")
   in
-  let action scenario nstrace_path check trace_path metrics_path =
+  let engine_stats_arg =
+    Arg.(
+      value & flag
+      & info [ "engine-stats" ]
+          ~doc:"Also print simulator-engine counters: events executed and \
+                the pending-event set's add/pop/cancel, recycling and \
+                lazy-cleanup statistics.")
+  in
+  let action scenario nstrace_path check trace_path metrics_path engine_stats =
     let scenario =
       match nstrace_path with
       | Some _ -> { scenario with Core.Scenario.collect_nstrace = true }
@@ -248,6 +269,7 @@ let run_cmd =
     in
     let outcome = Core.Wiring.run ~obs scenario in
     print_outcome scenario outcome;
+    if engine_stats then print_engine_stats outcome;
     let write_file label path contents =
       match path, contents with
       | Some path, Some data ->
@@ -265,7 +287,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one bulk-transfer simulation")
     Term.(
       const action $ scenario_term $ nstrace_arg $ check_arg $ trace_arg
-      $ metrics_arg)
+      $ metrics_arg $ engine_stats_arg)
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                               *)

@@ -1,15 +1,21 @@
 (** Pending-event set for the discrete-event simulator.
 
-    A binary min-heap ordered by (time, insertion number), so events
-    scheduled for the same instant fire in the order they were
-    scheduled.  Cancellation is O(1) (lazy deletion: cancelled entries
-    are skipped when popped). *)
+    A struct-of-arrays 4-ary min-heap ordered by (time, insertion
+    number), so events scheduled for the same instant fire in the
+    order they were scheduled.  Cancellation is O(1) (lazy deletion);
+    dead entries are dropped when they surface at the root and swept
+    wholesale whenever live entries fall below half the heap, so heap
+    occupancy stays O(live entries) even under cancel-heavy load.
+    Payload slots are recycled through a free pool: steady-state
+    scheduling allocates nothing on the minor heap. *)
 
 type 'a t
 (** A queue of events carrying values of type ['a]. *)
 
 type handle
-(** Identifies a scheduled event, for cancellation. *)
+(** Identifies a scheduled event, for cancellation.  Handles are
+    immediate values (no allocation per {!add}) and are only
+    meaningful with the queue that issued them. *)
 
 val create : unit -> 'a t
 (** An empty queue. *)
@@ -21,20 +27,33 @@ val is_empty : 'a t -> bool
 (** [true] iff no live event is pending. *)
 
 val add : 'a t -> time:Simtime.t -> 'a -> handle
-(** Schedule a value at the given time. *)
+(** Schedule a value at the given time.
+    @raise Failure if more than [2^25] events are pending at once. *)
 
 val cancel : 'a t -> handle -> unit
 (** Remove a scheduled event.  Cancelling an event that already fired
-    or was already cancelled is a no-op. *)
+    or was already cancelled is a no-op.  The event's payload slot is
+    recycled immediately; its heap node is dropped lazily (see
+    [dead_drops] and [compactions] in {!stats}). *)
 
 val is_live : 'a t -> handle -> bool
 (** [true] iff the event is still pending (not fired, not cancelled). *)
 
 val peek_time : 'a t -> Simtime.t option
-(** Time of the earliest live event, if any. *)
+(** Time of the earliest live event, if any.  Performs amortised
+    cleanup: cancelled entries that have surfaced at the heap root are
+    removed (counted in [dead_drops]), so a call may mutate the heap's
+    internal layout — never its live contents or pop order. *)
 
 val pop : 'a t -> (Simtime.t * 'a) option
-(** Remove and return the earliest live event. *)
+(** Remove and return the earliest live event.  Like {!peek_time},
+    drops any cancelled entries that surface at the root on the way. *)
+
+val occupancy : 'a t -> int
+(** Physical heap nodes currently held, cancelled-but-not-yet-dropped
+    included.  After every [add], [cancel] and [pop] this is at most
+    [max (2 * length t) 64]; the cancel-heavy regression test in
+    test/ asserts that bound. *)
 
 (** {2 Observability} *)
 
@@ -43,8 +62,14 @@ type stats = {
   pops : int;  (** live events ever popped *)
   cancels : int;  (** live events ever cancelled *)
   max_size : int;  (** high-water mark of the heap, cancelled included *)
+  dead_drops : int;
+      (** cancelled nodes dropped lazily: at the root by {!pop} /
+          {!peek_time}, or swept by a compaction pass *)
+  compactions : int;  (** whole-heap sweeps of cancelled nodes *)
+  recycled : int;  (** adds served from the slot free pool *)
 }
 
 val stats : 'a t -> stats
 (** Lifetime counters (always maintained; a handful of integer writes
-    per operation). *)
+    per operation).  Identities: [adds = pops + cancels + length t]
+    and [dead_drops <= cancels]. *)

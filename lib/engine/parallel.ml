@@ -1,5 +1,16 @@
 let default_jobs () = Stdlib.max 1 (Domain.recommended_domain_count () - 1)
 
+(* Settings picked by measurement on the bench `engine` workload (see
+   BENCH_engine.json's "gc" record): simulation runs allocate a few
+   megawords of short-lived packets and closures per replication, so a
+   4 Mword minor heap cuts minor collections ~16x versus the 256 kword
+   default, and a looser space_overhead keeps the major GC off the
+   sweep's critical path.  Worth a few percent end-to-end; applied
+   per worker domain, where the memory cost is bounded by [jobs]. *)
+let tune_gc () =
+  let g = Gc.get () in
+  Gc.set { g with Gc.minor_heap_size = 1 lsl 22; space_overhead = 200 }
+
 type 'b slot =
   | Pending
   | Done of 'b
@@ -23,8 +34,18 @@ let pooled_map ~jobs f input =
       worker ()
     end
   in
-  (* The caller is one of the [jobs] workers, so spawn [jobs - 1]. *)
-  let helpers = List.init (Stdlib.min (jobs - 1) (n - 1)) (fun _ -> Domain.spawn worker) in
+  (* The caller is one of the [jobs] workers, so spawn [jobs - 1].
+     Spawned domains start from the runtime's default GC parameters,
+     so tune them for the simulation workload; the caller's domain is
+     left exactly as the application configured it. *)
+  let helpers =
+    List.init
+      (Stdlib.min (jobs - 1) (n - 1))
+      (fun _ ->
+        Domain.spawn (fun () ->
+            tune_gc ();
+            worker ()))
+  in
   worker ();
   List.iter Domain.join helpers;
   Array.map

@@ -17,6 +17,15 @@ val default_jobs : unit -> int
     One domain is reserved for the caller, which also works as part
     of the pool. *)
 
+val tune_gc : unit -> unit
+(** Apply the GC settings the simulation workload was measured to
+    prefer (larger minor heap, looser [space_overhead]; see the bench
+    [engine] target, which records default-vs-tuned throughput in
+    [BENCH_engine.json]).  Called automatically in every domain
+    {!map} spawns; call it yourself on the main domain before a long
+    sequential run.  GC settings never change simulation results —
+    only wall-clock. *)
+
 val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f xs] is [List.map f xs], computed by up to [jobs]
     domains (including the calling one).  Input order is preserved.

@@ -4,7 +4,11 @@ type t = {
   root_rng : Rng.t;
   mutable stopping : bool;
   mutable checked : bool;
-  mutable invariants : (unit -> unit) list;  (* registration order *)
+  mutable invariants_rev : (unit -> unit) list;  (* newest first *)
+  mutable invariants : (unit -> unit) array option;
+      (* registration order; rebuilt lazily after a registration, so
+         add_invariant is O(1) and the per-event checked-mode sweep
+         iterates a flat array *)
   mutable executed_total : int;
 }
 
@@ -17,7 +21,8 @@ let create ?(seed = 1) () =
     root_rng = Rng.create ~seed;
     stopping = false;
     checked = false;
-    invariants = [];
+    invariants_rev = [];
+    invariants = None;
     executed_total = 0;
   }
 
@@ -38,9 +43,20 @@ let events_executed t = t.executed_total
 
 let set_checked t on = t.checked <- on
 let checked t = t.checked
-let add_invariant t f = t.invariants <- t.invariants @ [ f ]
+let add_invariant t f =
+  t.invariants_rev <- f :: t.invariants_rev;
+  t.invariants <- None
 
-let run_invariants t = List.iter (fun f -> f ()) t.invariants
+let run_invariants t =
+  let checks =
+    match t.invariants with
+    | Some a -> a
+    | None ->
+      let a = Array.of_list (List.rev t.invariants_rev) in
+      t.invariants <- Some a;
+      a
+  in
+  Array.iter (fun f -> f ()) checks
 
 let step t =
   match Event_queue.pop t.queue with

@@ -3,16 +3,21 @@ open Topology
 let default_replications = 10
 let seeds ~replications = List.init replications (fun i -> (1000 * i) + 17)
 
-let rec chunk n = function
-  | [] -> []
-  | xs ->
-    let rec take k acc = function
-      | rest when k = 0 -> (List.rev acc, rest)
-      | [] -> (List.rev acc, [])
-      | x :: rest -> take (k - 1) (x :: acc) rest
-    in
-    let head, rest = take n [] xs in
-    head :: chunk n rest
+(* Tail-recursive throughout, so a replication list of any length
+   (huge [reps=] values) can be regrouped without stack overflow. *)
+let chunk n xs =
+  let rec take k acc = function
+    | rest when k = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> take (k - 1) (x :: acc) rest
+  in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | xs ->
+      let head, rest = take n [] xs in
+      go (head :: acc) rest
+  in
+  go [] xs
 
 (* Every (scenario, seed) pair of a whole sweep fans out across one
    domain pool: far fewer spawns than a pool per sweep point, and

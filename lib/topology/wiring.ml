@@ -22,6 +22,8 @@ type outcome = {
   obs_trace : string option;
   obs_metrics : string option;
   end_time : Simtime.t;
+  events_executed : int;
+  queue_stats : Event_queue.stats;
 }
 
 let fh_addr = Address.make 0
@@ -425,6 +427,9 @@ let run ?obs (scenario : Scenario.t) =
       c "engine.queue.pops" qs.Event_queue.pops;
       c "engine.queue.cancels" qs.Event_queue.cancels;
       c "engine.queue.max_size" qs.Event_queue.max_size;
+      c "engine.queue.dead_drops" qs.Event_queue.dead_drops;
+      c "engine.queue.compactions" qs.Event_queue.compactions;
+      c "engine.queue.recycled" qs.Event_queue.recycled;
       let st = Tahoe_sender.stats sender in
       c "tcp.packets_sent" st.Tcp_stats.packets_sent;
       c "tcp.bytes_sent" st.Tcp_stats.bytes_sent;
@@ -482,6 +487,8 @@ let run ?obs (scenario : Scenario.t) =
     obs_trace = Obs.Trace.contents obs_trace;
     obs_metrics;
     end_time = Simulator.now sim;
+    events_executed = Simulator.events_executed sim;
+    queue_stats = Simulator.queue_stats sim;
   }
 
 let throughput_bps outcome =

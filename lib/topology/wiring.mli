@@ -30,6 +30,12 @@ type outcome = {
       (** metrics registry rendered as JSONL, iff the run enabled
           metrics *)
   end_time : Sim_engine.Simtime.t;
+  events_executed : int;
+      (** simulator events the run executed (the denominator of the
+          bench [engine] target's events/sec) *)
+  queue_stats : Sim_engine.Event_queue.stats;
+      (** lifetime pending-event-set counters, for the engine stats
+          surface ([wtcp run --engine-stats]) *)
 }
 
 val run : ?obs:Obs.Config.t -> Scenario.t -> outcome

@@ -218,6 +218,135 @@ let test_queue_interleaved_growth () =
   done;
   Alcotest.(check int) "live count" 500 (Event_queue.length q)
 
+let test_queue_cancel_heavy_bounded () =
+  (* The paper's workload in miniature: per-flow retransmission timers
+     armed and re-armed on every ACK, so nearly every add is
+     cancelled.  Lazy deletion must not let the heap grow O(adds):
+     occupancy stays O(live timers) throughout. *)
+  let q = Event_queue.create () in
+  let flows = 32 in
+  let timers =
+    Array.init flows (fun i -> Event_queue.add q ~time:(Simtime.of_ns i) i)
+  in
+  let max_occupancy = ref 0 in
+  let bound_ok = ref true in
+  for step = 1 to 100_000 do
+    let i = step mod flows in
+    Event_queue.cancel q timers.(i);
+    timers.(i) <- Event_queue.add q ~time:(Simtime.of_ns (step + i)) i;
+    if step mod 64 = 0 then ignore (Event_queue.pop q);
+    let occ = Event_queue.occupancy q in
+    if occ > !max_occupancy then max_occupancy := occ;
+    if occ > Stdlib.max (2 * Event_queue.length q) 64 then bound_ok := false
+  done;
+  Alcotest.(check bool) "occupancy <= max (2*live) 64 after every op" true
+    !bound_ok;
+  (* ~100k adds against ~32 live timers: the heap never grew past the
+     compaction floor. *)
+  Alcotest.(check bool) "max occupancy stayed near the live set" true
+    (!max_occupancy <= 64 + (2 * flows));
+  let s = Event_queue.stats q in
+  Alcotest.(check int) "conservation: adds = pops + cancels + live"
+    s.Event_queue.adds
+    (s.Event_queue.pops + s.Event_queue.cancels + Event_queue.length q);
+  Alcotest.(check bool) "adds served from the recycled slot pool" true
+    (s.Event_queue.recycled > 99_000)
+
+(* Model check: the heap against a naive sorted list, under
+   interleaved add/pop/cancel.  [add_w] and [cancel_w] are percentage
+   weights (pop takes the rest).  Checks pop order, length, the
+   occupancy bound and the stats identities after every operation. *)
+let prop_queue_model ~name ~add_w ~cancel_w =
+  QCheck2.Test.make ~name ~count:150
+    QCheck2.Gen.(
+      list_size (int_range 0 400) (pair (int_range 0 99) (int_range 0 1023)))
+    (fun ops ->
+      let q = Event_queue.create () in
+      (* Reference: (time, order, value) sorted by (time, order). *)
+      let model = ref [] in
+      let live = ref [] in (* (order, handle), newest first *)
+      let spent = ref [] in
+      let next = ref 0 in
+      let insert ((t, o, _) as e) =
+        let rec go = function
+          | [] -> [ e ]
+          | ((t', o', _) as hd) :: tl ->
+            if t < t' || (t = t' && o < o') then e :: hd :: tl
+            else hd :: go tl
+        in
+        model := go !model
+      in
+      let ok = ref true in
+      let agree () =
+        ok :=
+          !ok
+          && Event_queue.length q = List.length !model
+          && Event_queue.occupancy q
+             <= Stdlib.max (2 * Event_queue.length q) 64
+      in
+      List.iter
+        (fun (sel, t) ->
+          (if sel < add_w then begin
+             let o = !next in
+             incr next;
+             let h = Event_queue.add q ~time:(Simtime.of_ns t) o in
+             insert (t, o, o);
+             live := (o, h) :: !live
+           end
+           else if sel < add_w + cancel_w then
+             match !live with
+             | [] -> (
+               (* Cancelling a spent handle must be a no-op. *)
+               match !spent with
+               | h :: _ -> Event_queue.cancel q h
+               | [] -> ())
+             | l ->
+               let o, h = List.nth l (t mod List.length l) in
+               Event_queue.cancel q h;
+               spent := h :: !spent;
+               live := List.filter (fun (o', _) -> o' <> o) l;
+               model := List.filter (fun (_, o', _) -> o' <> o) !model
+           else
+             match (Event_queue.pop q, !model) with
+             | None, [] -> ()
+             | Some (pt, v), (mt, mo, mv) :: rest ->
+               model := rest;
+               (match List.assoc_opt mo !live with
+               | Some h -> spent := h :: !spent
+               | None -> ());
+               live := List.filter (fun (o', _) -> o' <> mo) !live;
+               if Simtime.to_ns pt <> mt || v <> mv then ok := false
+             | _ -> ok := false);
+          agree ())
+        ops;
+      (* Remaining events must drain in model order. *)
+      let rec drain () =
+        match (Event_queue.pop q, !model) with
+        | None, [] -> ()
+        | Some (pt, v), (mt, _, mv) :: rest ->
+          model := rest;
+          if Simtime.to_ns pt <> mt || v <> mv then ok := false else drain ()
+        | _ -> ok := false
+      in
+      drain ();
+      let s = Event_queue.stats q in
+      !ok
+      && s.Event_queue.adds
+         = s.Event_queue.pops + s.Event_queue.cancels + Event_queue.length q
+      && s.Event_queue.dead_drops <= s.Event_queue.cancels
+      && s.Event_queue.max_size >= Event_queue.occupancy q)
+
+let prop_queue_model_mixed =
+  prop_queue_model ~name:"queue matches sorted-list model (mixed ops)"
+    ~add_w:45 ~cancel_w:20
+
+let prop_queue_model_cancel_heavy =
+  (* Of the events that leave the queue, >90% leave by cancellation:
+     the lazy-deletion, generation-recycling and compaction paths
+     dominate. *)
+  prop_queue_model ~name:"queue matches sorted-list model (>90% cancels)"
+    ~add_w:47 ~cancel_w:49
+
 let prop_queue_matches_sort =
   QCheck2.Test.make ~name:"event queue pops in stable sorted order" ~count:200
     QCheck2.Gen.(list_size (int_range 0 200) (int_range 0 50))
@@ -407,7 +536,11 @@ let () =
           Alcotest.test_case "cancel" `Quick test_queue_cancel;
           Alcotest.test_case "peek" `Quick test_queue_peek;
           Alcotest.test_case "interleaved growth" `Quick test_queue_interleaved_growth;
+          Alcotest.test_case "cancel-heavy occupancy bounded" `Quick
+            test_queue_cancel_heavy_bounded;
           qc prop_queue_matches_sort;
+          qc prop_queue_model_mixed;
+          qc prop_queue_model_cancel_heavy;
         ] );
       ( "simulator",
         [
