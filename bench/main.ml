@@ -2,7 +2,7 @@
    paper's evaluation plus the ablations from DESIGN.md.
 
    Usage: main.exe [target ...] [reps=N] [jobs=N] [csv=DIR] [check=0|1]
-          [trace=PATH] [metrics=PATH]
+          [trace=PATH] [metrics=PATH] [plans=N]
 
    With csv=DIR each figure target also writes its data as
    DIR/<figure>.csv for external plotting.  jobs=N fans the
@@ -24,7 +24,10 @@
    end-to-end events/sec vs the recorded pre-PR baseline, plus a
    fig7/fig10 byte-identity check, recorded in BENCH_engine.json),
    obs (observability determinism: trace+metrics byte-identical at
-   any jobs=N).  No target runs everything. *)
+   any jobs=N), chaos (campaign of plans=N seeded fault plans under
+   the invariant checkers, plus the empty-fault-plan byte-identity
+   check, recorded in BENCH_chaos.json).  No target runs
+   everything. *)
 
 let replications = ref 10
 let jobs = ref (Core.Parallel.default_jobs ())
@@ -32,6 +35,7 @@ let csv_dir : string option ref = ref None
 let check = ref false
 let trace_path : string option ref = ref None
 let metrics_path : string option ref = ref None
+let plans = ref 50
 
 let write_csv name contents =
   match !csv_dir with
@@ -312,20 +316,19 @@ let parallel_bench () =
                             outputs byte-identical: %b"
               !replications cores identical);
        ]);
-  let oc = open_out "BENCH_parallel.json" in
-  Printf.fprintf oc
-    "{\n\
-    \  \"target\": \"fig7\",\n\
-    \  \"replications\": %d,\n\
-    \  \"jobs\": %d,\n\
-    \  \"recommended_domains\": %d,\n\
-    \  \"sequential_sec\": %.3f,\n\
-    \  \"parallel_sec\": %.3f,\n\
-    \  \"speedup\": %.3f,\n\
-    \  \"outputs_identical\": %b\n\
-     }\n"
-    !replications !jobs cores seq_sec par_sec speedup identical;
-  close_out oc;
+  Core.Report.write_atomic ~path:"BENCH_parallel.json"
+    (Printf.sprintf
+       "{\n\
+       \  \"target\": \"fig7\",\n\
+       \  \"replications\": %d,\n\
+       \  \"jobs\": %d,\n\
+       \  \"recommended_domains\": %d,\n\
+       \  \"sequential_sec\": %.3f,\n\
+       \  \"parallel_sec\": %.3f,\n\
+       \  \"speedup\": %.3f,\n\
+       \  \"outputs_identical\": %b\n\
+        }\n"
+       !replications !jobs cores seq_sec par_sec speedup identical);
   print_endline "wrote BENCH_parallel.json";
   if not identical then begin
     prerr_endline "FAIL: parallel output differs from sequential";
@@ -513,19 +516,19 @@ let engine_bench () =
               wan_default_sec wan_tuned_sec lan_default_sec lan_tuned_sec
               !jobs identical);
        ]);
-  let oc = open_out "BENCH_engine.json" in
-  Printf.fprintf oc "{\n  \"target\": \"engine\",\n  \"queue_ops\": [\n";
+  let buf = Buffer.create 2048 in
+  Printf.bprintf buf "{\n  \"target\": \"engine\",\n  \"queue_ops\": [\n";
   let n = List.length queue_rows in
   List.iteri
     (fun i (mix, live, ops) ->
-      Printf.fprintf oc
+      Printf.bprintf buf
         "    {\"mix\": %S, \"live\": %d, \"ops_per_sec\": %.0f}%s\n" mix live
         ops
         (if i = n - 1 then "" else ","))
     queue_rows;
-  Printf.fprintf oc "  ],\n";
+  Printf.bprintf buf "  ],\n";
   let scenario_json name events sec default_sec tuned_sec pre_sec speedup =
-    Printf.fprintf oc
+    Printf.bprintf buf
       "  \"%s\": {\n\
       \    \"events\": %d,\n\
       \    \"sec\": %.4f,\n\
@@ -546,11 +549,11 @@ let engine_bench () =
     pre_pr_wan_sec wan_speedup;
   scenario_json "lan" lan_events lan_sec lan_default_sec lan_tuned_sec
     pre_pr_lan_sec lan_speedup;
-  Printf.fprintf oc "  \"identity\": {\n    \"jobs\": [1, %d],\n" !jobs;
-  Printf.fprintf oc "    \"fig7_md5\": %S,\n    \"fig10_md5\": %S,\n"
+  Printf.bprintf buf "  \"identity\": {\n    \"jobs\": [1, %d],\n" !jobs;
+  Printf.bprintf buf "    \"fig7_md5\": %S,\n    \"fig10_md5\": %S,\n"
     pre_pr_fig7_md5 pre_pr_fig10_md5;
-  Printf.fprintf oc "    \"identical_to_pre_pr\": %b\n  }\n}\n" identical;
-  close_out oc;
+  Printf.bprintf buf "    \"identical_to_pre_pr\": %b\n  }\n}\n" identical;
+  Core.Report.write_atomic ~path:"BENCH_engine.json" (Buffer.contents buf);
   print_endline "wrote BENCH_engine.json";
   if not identical then begin
     List.iter
@@ -651,6 +654,61 @@ let obs_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Chaos campaign (BENCH_chaos.json)                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Runs plans=N seeded fault plans under the invariant checkers —
+   every plan must end Clean (completed or degraded; never a fault or
+   an uncaught exception) — and then re-derives the fig7 sweep with
+   the *empty* fault plan installed as the process default: a no-op
+   plan must leave the figures byte-identical to the pre-PR engine at
+   jobs=1 and jobs=N, proving the injector perturbs nothing when it
+   injects nothing. *)
+let chaos_bench () =
+  let results = Core.Chaos.campaign ~plans:!plans ~jobs:!jobs ~check:true () in
+  let campaign_ok = Core.Chaos.ok results in
+  (* The default plan is read by every Wiring.run that isn't given an
+     explicit ~faults; set it before Fig7's domains spawn. *)
+  Core.Fault_plan.set_default (Some Core.Fault_plan.empty);
+  let fig7_csv jobs =
+    Core.Wan_sweep.to_csv (Core.Fig7.compute ~replications:3 ~jobs ())
+  in
+  let md5_seq = Digest.to_hex (Digest.string (fig7_csv 1)) in
+  let md5_par = Digest.to_hex (Digest.string (fig7_csv !jobs)) in
+  Core.Fault_plan.set_default None;
+  let identical = md5_seq = pre_pr_fig7_md5 && md5_par = pre_pr_fig7_md5 in
+  section
+    (String.concat "\n"
+       [
+         Core.Report.heading "Chaos — seeded fault-plan campaign (check=1)";
+         Core.Chaos.render results
+         ^ Core.Report.note
+             (Printf.sprintf
+                "empty fault plan byte-identical to a plain run (fig7 \
+                 reps=3, jobs=1 and jobs=%d): %b"
+                !jobs identical);
+       ]);
+  Core.Report.write_atomic ~path:"BENCH_chaos.json"
+    (Core.Chaos.to_json
+       ~extra:
+         [
+           ("jobs", string_of_int !jobs);
+           ("empty_plan_fig7_md5_jobs1", Printf.sprintf "%S" md5_seq);
+           ("empty_plan_fig7_md5_jobsN", Printf.sprintf "%S" md5_par);
+           ("expected_fig7_md5", Printf.sprintf "%S" pre_pr_fig7_md5);
+           ("empty_plan_identical", string_of_bool identical);
+         ]
+       results);
+  print_endline "wrote BENCH_chaos.json";
+  if not campaign_ok then
+    prerr_endline "FAIL: chaos campaign had faulted or uncaught runs";
+  if not identical then
+    Printf.eprintf
+      "FAIL: empty fault plan perturbed fig7 (jobs=1 %s, jobs=%d %s, want %s)\n"
+      md5_seq !jobs md5_par pre_pr_fig7_md5;
+  if not (campaign_ok && identical) then exit 1
+
+(* ------------------------------------------------------------------ *)
 
 let targets =
   [
@@ -679,12 +737,13 @@ let targets =
     ("parallel", parallel_bench);
     ("engine", engine_bench);
     ("obs", obs_bench);
+    ("chaos", chaos_bench);
   ]
 
 let usage () =
   Printf.eprintf
     "usage: main.exe [target ...] [reps=N] [jobs=N] [csv=DIR] [check=0|1] \
-     [trace=PATH] [metrics=PATH]\n\
+     [trace=PATH] [metrics=PATH] [plans=N]\n\
      targets: %s\n"
     (String.concat ", " (List.map fst targets));
   exit 2
@@ -715,6 +774,7 @@ let set_flag flag =
         usage ())
     | "trace" -> trace_path := Some value
     | "metrics" -> metrics_path := Some value
+    | "plans" -> plans := int_flag ~key value
     | _ ->
       Printf.eprintf "unknown flag %S\n" flag;
       usage ())

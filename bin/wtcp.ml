@@ -5,7 +5,8 @@
      trace    deterministic-error packet trace (Figures 3-5 style)
      advisor  the paper's base-station packet-size table (§4.1)
      theory   theoretical maximum throughput for an error profile
-     compare  all recovery schemes side by side on one scenario *)
+     compare  all recovery schemes side by side on one scenario
+     chaos    campaign of seeded fault plans (graceful degradation) *)
 
 open Cmdliner
 
@@ -273,9 +274,7 @@ let run_cmd =
     let write_file label path contents =
       match path, contents with
       | Some path, Some data ->
-        let oc = open_out path in
-        output_string oc data;
-        close_out oc;
+        Core.Report.write_atomic ~path data;
         Printf.printf "%-11s %s\n" (label ^ ":") path
       | _ -> ()
     in
@@ -478,6 +477,59 @@ let csdp_cmd =
     Term.(const action $ conns_arg $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
+(* chaos                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let chaos_cmd =
+  let plans_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "plans" ] ~docv:"N"
+          ~doc:"Number of seeded fault plans in the campaign.")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:"Run the runtime invariant checkers after every simulated \
+                event (recommended; the campaign fails on any violation).")
+  in
+  let no_check_arg =
+    Arg.(
+      value & flag
+      & info [ "no-check" ]
+          ~doc:"Disable the invariant checkers (campaign still fails on \
+                uncaught exceptions).")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the campaign report as JSON to $(docv) (atomic \
+                temp-file + rename).")
+  in
+  let action plans base_seed jobs check no_check json_path =
+    let check = check || not no_check in
+    let results = Core.Chaos.campaign ~plans ~base_seed ~jobs ~check () in
+    print_string (Core.Chaos.render results);
+    (match json_path with
+    | Some path ->
+      Core.Report.write_atomic ~path (Core.Chaos.to_json results);
+      Printf.printf "json: %s\n" path
+    | None -> ());
+    if not (Core.Chaos.ok results) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Campaign of seeded fault plans: BS crashes, disconnections, \
+             EBSN loss, queue overflow, handoffs — every plan must end in \
+             a well-defined state")
+    Term.(
+      const action $ plans_arg $ seed_arg $ jobs_arg $ check_arg
+      $ no_check_arg $ json_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let info =
@@ -491,5 +543,5 @@ let () =
        (Cmd.group info
           [
             run_cmd; trace_cmd; advisor_cmd; theory_cmd; compare_cmd;
-            handoff_cmd; csdp_cmd;
+            handoff_cmd; csdp_cmd; chaos_cmd;
           ]))

@@ -83,6 +83,12 @@ module Source_quench = Feedback.Source_quench
 module Snoop = Agents.Snoop
 module Split_conn = Agents.Split_conn
 
+(** {1 Fault injection (chaos testing)} *)
+
+module Fault = Error_model.Fault
+module Fault_plan = Faults.Plan
+module Fault_injector = Faults.Injector
+
 (** {1 Scenarios and wiring} *)
 
 module Scenario = Topology.Scenario
@@ -112,6 +118,7 @@ module Fig11 = Experiments.Fig11
 module Csdp = Experiments.Csdp
 module Handoff = Experiments.Handoff
 module Ablations = Experiments.Ablations
+module Chaos = Experiments.Chaos
 
 (** {1 Packet-size selection (§4.1)} *)
 

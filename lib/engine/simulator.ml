@@ -10,7 +10,29 @@ type t = {
          add_invariant is O(1) and the per-event checked-mode sweep
          iterates a flat array *)
   mutable executed_total : int;
+  mutable finalizers_rev : (unit -> unit) list;  (* newest first *)
 }
+
+type fault_report = {
+  error : exn;
+  backtrace : Printexc.raw_backtrace;
+  at : Simtime.t;
+  events_executed : int;
+  pending_events : int;
+  queue_stats : Event_queue.stats;
+}
+
+exception Fault of fault_report
+
+let () =
+  Printexc.register_printer (function
+    | Fault r ->
+      Some
+        (Printf.sprintf
+           "Simulator.Fault at t=%dns after %d events (%d pending): %s"
+           (Simtime.to_ns r.at) r.events_executed r.pending_events
+           (Printexc.to_string r.error))
+    | _ -> None)
 
 type event = Event_queue.handle
 
@@ -24,6 +46,7 @@ let create ?(seed = 1) () =
     invariants_rev = [];
     invariants = None;
     executed_total = 0;
+    finalizers_rev = [];
   }
 
 let now t = t.clock
@@ -72,6 +95,15 @@ let step t =
     if t.checked then run_invariants t;
     true
 
+let add_finalizer t f = t.finalizers_rev <- f :: t.finalizers_rev
+
+let run_finalizers t =
+  (* Each finalizer is guarded so a failing one cannot mask the
+     original fault or stop the remaining finalizers. *)
+  List.iter
+    (fun f -> try f () with _ -> ())
+    (List.rev t.finalizers_rev)
+
 let run ?until ?max_events t =
   t.stopping <- false;
   let executed = ref 0 in
@@ -86,14 +118,28 @@ let run ?until ?max_events t =
       | None -> false
       | Some next -> Simtime.(next <= horizon))
   in
-  while
-    (not t.stopping)
-    && within_budget ()
-    && within_horizon ()
-    && step t
-  do
-    incr executed
-  done;
+  (try
+     while
+       (not t.stopping)
+       && within_budget ()
+       && within_horizon ()
+       && step t
+     do
+       incr executed
+     done
+   with exn ->
+     let backtrace = Printexc.get_raw_backtrace () in
+     run_finalizers t;
+     raise
+       (Fault
+          {
+            error = exn;
+            backtrace;
+            at = t.clock;
+            events_executed = t.executed_total;
+            pending_events = Event_queue.length t.queue;
+            queue_stats = Event_queue.stats t.queue;
+          }));
   (* When stopped by the horizon — either because the next event lies
      beyond it or because the queue drained before reaching it —
      advance the clock to the horizon so callers can schedule relative

@@ -44,6 +44,32 @@ val step : t -> bool
 (** Execute the earliest pending event.  Returns [false] if none was
     pending. *)
 
+type fault_report = {
+  error : exn;  (** the exception the event handler raised *)
+  backtrace : Printexc.raw_backtrace;  (** captured at the raise site *)
+  at : Simtime.t;  (** clock when the handler faulted *)
+  events_executed : int;  (** lifetime events executed before the fault *)
+  pending_events : int;  (** live events stranded in the queue *)
+  queue_stats : Event_queue.stats;  (** queue counters at the fault *)
+}
+(** What {!run} knows when an event handler raises: enough to report a
+    partial outcome instead of a stuck queue. *)
+
+exception Fault of fault_report
+(** Raised by {!run} when an event handler raises any exception
+    (including {!Obs.Invariant.Violation} from a checked-mode sweep).
+    Registered finalizers have already run by the time this
+    propagates; the original exception and backtrace are carried in
+    the report. *)
+
+val add_finalizer : t -> (unit -> unit) -> unit
+(** Register a cleanup action run (in registration order) before
+    {!run} re-raises a handler exception as {!Fault}.  Use it to flush
+    observability sinks so a crashing run never strands a trace
+    mid-record.  Finalizers are individually guarded: one that raises
+    is ignored and the rest still run.  They do {e not} run on a
+    normal (non-faulting) return. *)
+
 val run : ?until:Simtime.t -> ?max_events:int -> t -> unit
 (** Execute events in order until the queue drains, the clock passes
     [until], or [max_events] events have fired.  Events scheduled
@@ -52,7 +78,12 @@ val run : ?until:Simtime.t -> ?max_events:int -> t -> unit
     first — the clock is advanced to [until], so callers can schedule
     relative to the requested stop time.  {!stop}, and an exhausted
     [max_events] with work still pending, leave the clock at the last
-    executed event. *)
+    executed event.
+
+    If an event handler raises, registered finalizers run and the
+    exception is re-raised wrapped as {!Fault}, carrying the original
+    exception, its backtrace, and queue statistics at the point of
+    failure. *)
 
 val stop : t -> unit
 (** Make the current {!run} return after the executing event

@@ -1,0 +1,228 @@
+open Topology
+
+type spec = {
+  index : int;
+  seed : int;
+  scenario : Scenario.t;
+  plan : Faults.Plan.t;
+  label : string;
+}
+
+type status =
+  | Clean of { completed : bool }
+  | Faulted of { violation : string option; rendered : string }
+  | Uncaught of string
+
+type run_result = {
+  spec : spec;
+  status : status;
+  injected : (Error_model.Fault.kind * int) list;
+  events_executed : int;
+  throughput_bps : float;
+}
+
+(* The plan window approximates the clean transfer duration for each
+   preset, so generated faults land while the transfer is live. *)
+let wan_window = Sim_engine.Simtime.span_sec 60.0
+let lan_window = Sim_engine.Simtime.span_sec 4.0
+let lan_file_bytes = 262_144
+
+let specs ~plans ~base_seed =
+  let schemes = Scenario.all_schemes in
+  let n_schemes = List.length schemes in
+  List.init plans (fun index ->
+      let seed = base_seed + index in
+      let scheme = List.nth schemes (index mod n_schemes) in
+      let wan = index mod 2 = 0 in
+      let scenario =
+        if wan then Scenario.wan ~scheme ~seed ()
+        else Scenario.lan ~scheme ~file_bytes:lan_file_bytes ~seed ()
+      in
+      let window = if wan then wan_window else lan_window in
+      let plan = Faults.Plan.generate ~seed ~window in
+      let label =
+        Printf.sprintf "%s/%s seed=%d"
+          (if wan then "wan" else "lan")
+          (Scenario.scheme_name scheme)
+          seed
+      in
+      { index; seed; scenario; plan; label })
+
+let run_spec ~check spec =
+  let obs =
+    Obs.Config.{ check; trace = false; metrics = false }
+  in
+  match Wiring.run ~obs ~faults:spec.plan spec.scenario with
+  | outcome ->
+    let status =
+      match outcome.Wiring.fault with
+      | None -> Clean { completed = outcome.Wiring.completed }
+      | Some report ->
+        let violation =
+          match report.Sim_engine.Simulator.error with
+          | Obs.Invariant.Violation { name; _ } -> Some name
+          | _ -> None
+        in
+        Faulted
+          {
+            violation;
+            rendered =
+              Printexc.to_string (Sim_engine.Simulator.Fault report);
+          }
+    in
+    {
+      spec;
+      status;
+      injected = Error_model.Fault.summarize outcome.Wiring.fault_events;
+      events_executed = outcome.Wiring.events_executed;
+      throughput_bps = Wiring.throughput_bps outcome;
+    }
+  | exception exn ->
+    {
+      spec;
+      status = Uncaught (Printexc.to_string exn);
+      injected = [];
+      events_executed = 0;
+      throughput_bps = 0.0;
+    }
+
+let campaign ?(plans = 50) ?(base_seed = 1) ?(jobs = 1) ?(check = true) () =
+  let specs = specs ~plans ~base_seed in
+  Sim_engine.Parallel.map ~jobs (run_spec ~check) specs
+
+let ok results =
+  List.for_all
+    (fun r -> match r.status with Clean _ -> true | _ -> false)
+    results
+
+let count p results = List.length (List.filter p results)
+
+let injected_totals results =
+  List.map
+    (fun kind ->
+      ( kind,
+        List.fold_left
+          (fun acc r ->
+            acc + (try List.assoc kind r.injected with Not_found -> 0))
+          0 results ))
+    Error_model.Fault.all_kinds
+  |> List.filter (fun (_, n) -> n > 0)
+
+let render results =
+  let b = Buffer.create 1024 in
+  let total = List.length results in
+  let completed =
+    count (fun r -> r.status = Clean { completed = true }) results
+  in
+  let survived =
+    count (fun r -> r.status = Clean { completed = false }) results
+  in
+  let faulted =
+    count (fun r -> match r.status with Faulted _ -> true | _ -> false) results
+  in
+  let uncaught =
+    count (fun r -> match r.status with Uncaught _ -> true | _ -> false) results
+  in
+  Buffer.add_string b
+    (Printf.sprintf
+       "plans=%d  completed=%d  degraded=%d  faulted=%d  uncaught=%d\n" total
+       completed survived faulted uncaught);
+  Buffer.add_string b "injected faults: ";
+  (match injected_totals results with
+  | [] -> Buffer.add_string b "(none)\n"
+  | totals ->
+    Buffer.add_string b
+      (String.concat "  "
+         (List.map
+            (fun (kind, n) ->
+              Printf.sprintf "%s=%d" (Error_model.Fault.kind_name kind) n)
+            totals));
+    Buffer.add_char b '\n');
+  List.iter
+    (fun r ->
+      match r.status with
+      | Clean _ -> ()
+      | Faulted { rendered; _ } ->
+        Buffer.add_string b
+          (Printf.sprintf "FAULT %s (%s): %s\n" r.spec.label
+             (Faults.Plan.to_string r.spec.plan)
+             rendered)
+      | Uncaught msg ->
+        Buffer.add_string b
+          (Printf.sprintf "UNCAUGHT %s (%s): %s\n" r.spec.label
+             (Faults.Plan.to_string r.spec.plan)
+             msg))
+    results;
+  Buffer.contents b
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json ?(extra = []) results =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"plans\": %d,\n" (List.length results));
+  Buffer.add_string b
+    (Printf.sprintf "  \"ok\": %b,\n" (ok results));
+  Buffer.add_string b
+    (Printf.sprintf "  \"completed\": %d,\n"
+       (count (fun r -> r.status = Clean { completed = true }) results));
+  Buffer.add_string b
+    (Printf.sprintf "  \"degraded\": %d,\n"
+       (count (fun r -> r.status = Clean { completed = false }) results));
+  Buffer.add_string b
+    (Printf.sprintf "  \"faulted\": %d,\n"
+       (count
+          (fun r -> match r.status with Faulted _ -> true | _ -> false)
+          results));
+  Buffer.add_string b
+    (Printf.sprintf "  \"uncaught\": %d,\n"
+       (count
+          (fun r -> match r.status with Uncaught _ -> true | _ -> false)
+          results));
+  Buffer.add_string b "  \"injected\": {";
+  Buffer.add_string b
+    (String.concat ", "
+       (List.map
+          (fun (kind, n) ->
+            Printf.sprintf "\"%s\": %d" (Error_model.Fault.kind_name kind) n)
+          (injected_totals results)));
+  Buffer.add_string b "},\n";
+  List.iter
+    (fun (key, value) ->
+      Buffer.add_string b (Printf.sprintf "  \"%s\": %s,\n" key value))
+    extra;
+  Buffer.add_string b "  \"runs\": [\n";
+  let total = List.length results in
+  List.iteri
+    (fun i r ->
+      let status, detail =
+        match r.status with
+        | Clean { completed = true } -> ("completed", "")
+        | Clean { completed = false } -> ("degraded", "")
+        | Faulted { rendered; _ } -> ("faulted", rendered)
+        | Uncaught msg -> ("uncaught", msg)
+      in
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"label\": \"%s\", \"plan\": \"%s\", \"status\": \"%s\", \
+            \"detail\": \"%s\", \"events\": %d, \"throughput_bps\": %.1f}%s\n"
+           (json_escape r.spec.label)
+           (json_escape (Faults.Plan.to_string r.spec.plan))
+           status (json_escape detail) r.events_executed r.throughput_bps
+           (if i = total - 1 then "" else ",")))
+    results;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b

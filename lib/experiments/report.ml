@@ -50,3 +50,15 @@ let csv_escape cell =
 let csv ~columns ~rows =
   let line cells = String.concat "," (List.map csv_escape cells) in
   String.concat "\n" (line columns :: List.map line rows) ^ "\n"
+
+let write_atomic ~path contents =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try
+     output_string oc contents;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path

@@ -24,3 +24,10 @@ val note : string -> string
 val csv : columns:string list -> rows:string list list -> string
 (** The same data as {!table}, as RFC-4180-style CSV (quoted where
     needed, trailing newline). *)
+
+val write_atomic : path:string -> string -> unit
+(** Write [contents] to [path] atomically: the bytes go to
+    [path ^ ".tmp"] which is then renamed over [path], so an
+    interrupted or crashed run never leaves a truncated file behind.
+    Raises the underlying [Sys_error] on I/O failure (after removing
+    the temporary file). *)

@@ -1,0 +1,189 @@
+open Sim_engine
+
+type verdict = Deliver | Drop | Duplicate | Delay of Simtime.span
+
+type hooks = {
+  set_blackout : Plan.target -> bool -> unit;
+  crash_bs : unit -> string;
+  set_queue_squeeze : Plan.target -> bool -> string;
+}
+
+type t = {
+  sim : Simulator.t;
+  hooks : hooks;
+  log : Error_model.Fault.log;
+  (* Overlapping windows refcount per direction; the hook only sees
+     0<->1 transitions. *)
+  mutable down_refs : int;
+  mutable up_refs : int;
+  mutable squeeze_down_refs : int;
+  mutable squeeze_up_refs : int;
+  (* Notification faults armed by plan events and consumed, in order
+     of severity, by [notification_verdict]. *)
+  mutable pending_drops : int;
+  mutable pending_delays : Simtime.span list;  (* FIFO *)
+  mutable pending_dups : int;
+}
+
+let record t ~kind ~component detail =
+  Error_model.Fault.record t.log
+    ~at_ns:(Simtime.to_ns (Simulator.now t.sim))
+    ~kind ~component detail
+
+let dirs = function
+  | Plan.Down -> [ `Down ]
+  | Plan.Up -> [ `Up ]
+  | Plan.Both -> [ `Down; `Up ]
+
+let begin_blackout t dir =
+  let refs, target =
+    match dir with
+    | `Down ->
+      t.down_refs <- t.down_refs + 1;
+      t.down_refs, Plan.Down
+    | `Up ->
+      t.up_refs <- t.up_refs + 1;
+      t.up_refs, Plan.Up
+  in
+  if refs = 1 then t.hooks.set_blackout target true
+
+let end_blackout t dir =
+  let refs, target =
+    match dir with
+    | `Down ->
+      t.down_refs <- t.down_refs - 1;
+      t.down_refs, Plan.Down
+    | `Up ->
+      t.up_refs <- t.up_refs - 1;
+      t.up_refs, Plan.Up
+  in
+  if refs = 0 then t.hooks.set_blackout target false
+
+let blackout_window t ~kind ~component ~detail targets duration =
+  List.iter (fun dir -> begin_blackout t dir) targets;
+  record t ~kind ~component detail;
+  ignore
+    (Simulator.schedule_after t.sim ~delay:duration (fun () ->
+         List.iter (fun dir -> end_blackout t dir) targets))
+
+let begin_squeeze t dir =
+  let refs, target =
+    match dir with
+    | `Down ->
+      t.squeeze_down_refs <- t.squeeze_down_refs + 1;
+      t.squeeze_down_refs, Plan.Down
+    | `Up ->
+      t.squeeze_up_refs <- t.squeeze_up_refs + 1;
+      t.squeeze_up_refs, Plan.Up
+  in
+  if refs = 1 then Some (t.hooks.set_queue_squeeze target true) else None
+
+let end_squeeze t dir =
+  let refs, target =
+    match dir with
+    | `Down ->
+      t.squeeze_down_refs <- t.squeeze_down_refs - 1;
+      t.squeeze_down_refs, Plan.Down
+    | `Up ->
+      t.squeeze_up_refs <- t.squeeze_up_refs - 1;
+      t.squeeze_up_refs, Plan.Up
+  in
+  if refs = 0 then ignore (t.hooks.set_queue_squeeze target false)
+
+let apply t action =
+  match (action : Plan.action) with
+  | Plan.Bs_crash ->
+    let detail = t.hooks.crash_bs () in
+    record t ~kind:Error_model.Fault.Crash ~component:"bs" detail
+  | Plan.Link_down { target; duration } ->
+    blackout_window t ~kind:Error_model.Fault.Disconnection
+      ~component:("link:" ^ Plan.target_name target)
+      ~detail:
+        (Printf.sprintf "blackout for %.3fs" (Simtime.span_to_sec duration))
+      (dirs target) duration
+  | Plan.Ack_blackout { duration } ->
+    blackout_window t ~kind:Error_model.Fault.Path_loss ~component:"link:up"
+      ~detail:
+        (Printf.sprintf "ack path dark for %.3fs"
+           (Simtime.span_to_sec duration))
+      (dirs Plan.Up) duration
+  | Plan.Ebsn_loss { count } -> t.pending_drops <- t.pending_drops + count
+  | Plan.Ebsn_duplicate -> t.pending_dups <- t.pending_dups + 1
+  | Plan.Ebsn_delay { delay } ->
+    t.pending_delays <- t.pending_delays @ [ delay ]
+  | Plan.Queue_squeeze { target; duration } ->
+    List.iter
+      (fun dir ->
+        match begin_squeeze t dir with
+        | None -> ()
+        | Some detail ->
+          record t ~kind:Error_model.Fault.Queue_overflow
+            ~component:
+              ("link:" ^ (match dir with `Down -> "down" | `Up -> "up"))
+            detail)
+      (dirs target);
+    ignore
+      (Simulator.schedule_after t.sim ~delay:duration (fun () ->
+           List.iter (fun dir -> end_squeeze t dir) (dirs target)))
+  | Plan.Handoff { blackout } ->
+    let detail = t.hooks.crash_bs () in
+    record t ~kind:Error_model.Fault.Handoff ~component:"bs"
+      (Printf.sprintf "%s; dark both ways for %.3fs" detail
+         (Simtime.span_to_sec blackout));
+    blackout_window t ~kind:Error_model.Fault.Disconnection
+      ~component:"link:both"
+      ~detail:
+        (Printf.sprintf "handoff blackout for %.3fs"
+           (Simtime.span_to_sec blackout))
+      (dirs Plan.Both) blackout
+
+let install sim ~plan ~hooks =
+  let t =
+    {
+      sim;
+      hooks;
+      log = Error_model.Fault.log ();
+      down_refs = 0;
+      up_refs = 0;
+      squeeze_down_refs = 0;
+      squeeze_up_refs = 0;
+      pending_drops = 0;
+      pending_delays = [];
+      pending_dups = 0;
+    }
+  in
+  let start = Simulator.now sim in
+  List.iter
+    (fun { Plan.after; action } ->
+      ignore
+        (Simulator.schedule sim ~at:(Simtime.add start after) (fun () ->
+             apply t action)))
+    (Plan.events plan);
+  t
+
+let notification_verdict t =
+  if t.pending_drops > 0 then begin
+    t.pending_drops <- t.pending_drops - 1;
+    record t ~kind:Error_model.Fault.Notification_loss ~component:"feedback"
+      "notification dropped in flight";
+    Drop
+  end
+  else
+    match t.pending_delays with
+    | delay :: rest ->
+      t.pending_delays <- rest;
+      record t ~kind:Error_model.Fault.Notification_delay ~component:"feedback"
+        (Printf.sprintf "notification delayed %.3fs"
+           (Simtime.span_to_sec delay));
+      Delay delay
+    | [] ->
+      if t.pending_dups > 0 then begin
+        t.pending_dups <- t.pending_dups - 1;
+        record t ~kind:Error_model.Fault.Notification_duplicate
+          ~component:"feedback" "notification delivered twice";
+        Duplicate
+      end
+      else Deliver
+
+let events t = Error_model.Fault.events t.log
+let count t = Error_model.Fault.count t.log

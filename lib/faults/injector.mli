@@ -1,0 +1,49 @@
+(** Applies a {!Plan} to a running simulation through caller-supplied
+    hooks.
+
+    The injector owns no model state: the topology wiring hands it
+    closures that flip blackouts, crash the base station, and pinch
+    queue capacities, so this library depends only on the engine and
+    the error taxonomy.  Installation schedules one simulator event
+    per plan event; applying an action draws no randomness.  Every
+    fault actually applied is recorded in an {!Error_model.Fault.log}
+    for the run's report. *)
+
+type verdict =
+  | Deliver  (** pass the notification through untouched *)
+  | Drop  (** lose it: the sender still believes it was sent *)
+  | Duplicate  (** deliver it twice *)
+  | Delay of Sim_engine.Simtime.span  (** deliver it late *)
+
+type hooks = {
+  set_blackout : Plan.target -> bool -> unit;
+      (** flip a disconnection window on one direction ([Down]/[Up]
+          only; the injector expands [Both] and refcounts overlapping
+          windows, so the hook only sees 0↔1 transitions) *)
+  crash_bs : unit -> string;
+      (** wipe base-station state (ARQ, reassembly, feedback pacing);
+          returns a description of what was lost, for the log *)
+  set_queue_squeeze : Plan.target -> bool -> string;
+      (** pinch (or restore) one direction's frame-queue capacity;
+          returns a description of the change *)
+}
+
+type t
+(** An injector bound to one simulation run. *)
+
+val install : Sim_engine.Simulator.t -> plan:Plan.t -> hooks:hooks -> t
+(** Schedule every event of [plan] (relative to the current simulated
+    time) and return the injector.  Installing the {!Plan.empty} plan
+    schedules nothing and leaves the event stream untouched. *)
+
+val notification_verdict : t -> verdict
+(** Consulted by the wiring each time a feedback notification (EBSN /
+    source-quench) is about to be injected into the wired network.
+    Consumes pending notification faults in severity order: armed
+    losses first, then delays, then duplicates; {!Deliver} when none
+    are armed. *)
+
+val events : t -> Error_model.Fault.event list
+(** Faults applied so far, in application order. *)
+
+val count : t -> int

@@ -39,3 +39,5 @@ let record t ~conn ~now =
   match t.pacing with
   | Every_attempt -> ()
   | Min_interval _ -> Hashtbl.replace t.last_sent conn now
+
+let reset t = Hashtbl.reset t.last_sent

@@ -48,3 +48,7 @@ val admit : gate -> conn:int -> now:Sim_engine.Simtime.t -> bool
 val record : gate -> conn:int -> now:Sim_engine.Simtime.t -> unit
 (** Note that a notification for [conn] was sent at [now]; starts the
     [Min_interval] suppression window.  No-op under [Every_attempt]. *)
+
+val reset : gate -> unit
+(** Forget all pacing state, as a base-station reboot would.  The next
+    attempt failure on any connection is admitted immediately. *)

@@ -29,6 +29,8 @@ type stats = {
   attempt_failures : int;
   spurious_acks : int;
   sched_drops : int;
+  crashes : int;
+  crash_dropped : int;
 }
 
 type entry = {
@@ -57,6 +59,10 @@ type t = {
   mutable discards : int;
   mutable attempt_failures : int;
   mutable spurious_acks : int;
+  mutable epoch : int;  (* bumped by [crash]; stale closures compare it *)
+  mutable deferred_pending : int;  (* backoff-deferred frames awaiting requeue *)
+  mutable crashes : int;
+  mutable crash_dropped : int;
   obs_comp : string;
   mutable obs_trace : Obs.Trace.t;
   mutable attempts_hist : Obs.Registry.histogram;
@@ -147,13 +153,21 @@ and on_ack_timeout t entry =
     let delay = Backoff.draw t.cfg.backoff t.rng ~attempt:entry.attempts in
     if t.cfg.defer_on_backoff then begin
       (* Channel-state-dependent deferral: free the slot during the
-         backoff; the frame re-queues at the head of its lane. *)
+         backoff; the frame re-queues at the head of its lane.  The
+         requeue closure is epoch-guarded: a crash while the frame is
+         deferred counts it as dropped, and the late requeue must not
+         resurrect it. *)
       Hashtbl.remove t.inflight entry.frame.Frame.seq;
       t.slots_held <- t.slots_held - 1;
+      t.deferred_pending <- t.deferred_pending + 1;
+      let epoch = t.epoch in
       ignore
         (Simulator.schedule_after t.sim ~delay (fun () ->
-             Sched.push_front t.waiting ~conn:entry.conn entry;
-             pump t));
+             if epoch = t.epoch then begin
+               t.deferred_pending <- t.deferred_pending - 1;
+               Sched.push_front t.waiting ~conn:entry.conn entry;
+               pump t
+             end));
       pump t
     end
     else
@@ -213,6 +227,10 @@ let create sim ~rng ~config ~link =
       discards = 0;
       attempt_failures = 0;
       spurious_acks = 0;
+      epoch = 0;
+      deferred_pending = 0;
+      crashes = 0;
+      crash_dropped = 0;
       obs_comp = "arq:" ^ Wireless_link.name link;
       obs_trace = Obs.Trace.disabled;
       attempts_hist = Obs.Registry.histogram Obs.Registry.disabled "arq.attempts";
@@ -249,6 +267,34 @@ let handle_link_ack t ~acked_seq =
   | Some entry -> complete_entry t entry
   | None -> t.spurious_acks <- t.spurious_acks + 1
 
+(* Crash/reboot: all link-layer transmission state vanishes.  Pending
+   attempts are abandoned (their timers cancelled), waiting frames and
+   backoff-deferred frames are discarded, and every window slot is
+   reclaimed.  The sequence counter is deliberately NOT reset: the
+   peer's resequencer dedups by frame seq, so reusing old numbers
+   after a reboot would alias live frames.  Returns how many frames
+   were lost with the state. *)
+let crash t =
+  Hashtbl.iter (fun _ entry -> cancel_timer t entry) t.inflight;
+  let in_flight = Hashtbl.length t.inflight in
+  Hashtbl.reset t.inflight;
+  t.slots_held <- 0;
+  let waiting = Sched.clear t.waiting in
+  let deferred = t.deferred_pending in
+  t.deferred_pending <- 0;
+  t.epoch <- t.epoch + 1;
+  let dropped = in_flight + waiting + deferred in
+  t.crashes <- t.crashes + 1;
+  t.crash_dropped <- t.crash_dropped + dropped;
+  if Obs.Trace.enabled t.obs_trace then
+    trace_emit t ~ev:"crash"
+      [
+        ("in_flight", Obs.Jsonl.Int in_flight);
+        ("waiting", Obs.Jsonl.Int waiting);
+        ("deferred", Obs.Jsonl.Int deferred);
+      ];
+  dropped
+
 let idle t = Hashtbl.length t.inflight = 0 && Sched.is_empty t.waiting
 let in_flight t = Hashtbl.length t.inflight
 let backlog t = Sched.length t.waiting
@@ -279,4 +325,6 @@ let stats t =
     attempt_failures = t.attempt_failures;
     spurious_acks = t.spurious_acks;
     sched_drops = Sched.drops t.waiting;
+    crashes = t.crashes;
+    crash_dropped = t.crash_dropped;
   }

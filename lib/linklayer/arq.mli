@@ -55,6 +55,8 @@ type stats = {
   attempt_failures : int;  (** acknowledgement timeouts *)
   spurious_acks : int;  (** acks for frames no longer in flight *)
   sched_drops : int;  (** frames rejected by the waiting queue *)
+  crashes : int;  (** times {!crash} wiped the sender *)
+  crash_dropped : int;  (** frames lost across all crashes *)
 }
 
 type t
@@ -87,6 +89,16 @@ val set_on_attempt_failure : t -> (Frame.t -> attempt:int -> unit) -> unit
 
 val set_on_discard : t -> (Frame.t -> unit) -> unit
 (** Called when a frame is dropped after its last allowed attempt. *)
+
+val crash : t -> int
+(** Base-station crash/reboot: drop all transmission state and return
+    to a clean, usable sender.  In-flight attempts are abandoned and
+    their timers cancelled, waiting and backoff-deferred frames are
+    discarded, and every window slot is reclaimed, so the window
+    invariants hold immediately after.  Sequence numbering continues
+    (a reboot must not alias live frame numbers at the peer's
+    resequencer); late link acks for pre-crash frames count as
+    spurious.  Returns the number of frames lost with the state. *)
 
 val idle : t -> bool
 (** [true] when nothing is in flight and no frame is waiting. *)

@@ -92,6 +92,16 @@ let receive t payload =
 
 let pending t = Hashtbl.length t.partial
 
+(* Crash: every partially reassembled packet is lost with the buffer.
+   Purge timers are cancelled so no stale closure fires against the
+   fresh table, and the lost partials are counted as failures. *)
+let crash t =
+  Hashtbl.iter (fun _ entry -> cancel_purge t entry) t.partial;
+  let lost = Hashtbl.length t.partial in
+  Hashtbl.reset t.partial;
+  t.failure_count <- t.failure_count + lost;
+  lost
+
 let stats t =
   {
     delivered = t.delivered_count;

@@ -32,5 +32,11 @@ val receive : t -> Frame.payload -> unit
 val pending : t -> int
 (** Packets currently awaiting missing fragments. *)
 
+val crash : t -> int
+(** Drop every partially reassembled packet (counting each as a
+    failure) and cancel their purge timers, leaving an empty, usable
+    buffer.  Models the reassembly state lost when its host crashes or
+    the mobile hands off.  Returns how many partials were lost. *)
+
 val stats : t -> stats
 (** Counters so far. *)

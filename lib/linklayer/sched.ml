@@ -101,3 +101,15 @@ let drops t =
   | Fifo -> t.fifo.drop_count
   | Round_robin ->
     Hashtbl.fold (fun _ lane acc -> acc + lane.drop_count) t.per_conn 0
+
+let lane_clear lane =
+  let n = lane_length lane in
+  lane.front <- [];
+  Queue.clear lane.back;
+  n
+
+let clear t =
+  match t.pol with
+  | Fifo -> lane_clear t.fifo
+  | Round_robin ->
+    Hashtbl.fold (fun _ lane acc -> acc + lane_clear lane) t.per_conn 0

@@ -39,3 +39,8 @@ val is_empty : 'a t -> bool
 
 val drops : 'a t -> int
 (** Total drops across queues. *)
+
+val clear : 'a t -> int
+(** Discard every waiting item (all lanes, re-queued front items
+    included) and return how many were removed.  Drop counters are
+    kept.  Used when a crash wipes the sender's link-layer state. *)

@@ -15,6 +15,7 @@ type stats = {
   frames_lost : int;
   frames_delivered : int;
   drops : int;
+  frames_blackholed : int;
 }
 
 type monitor_event =
@@ -41,6 +42,8 @@ type t = {
   mutable accepted : int;  (* frames handed to [send] *)
   mutable in_propagation : int;  (* delivered-but-in-flight frames *)
   mutable obs_trace : Obs.Trace.t;
+  mutable blackout : bool;  (* disconnection window: frames vanish *)
+  mutable frames_blackholed : int;
 }
 
 let create sim ~name ~config ~channel_for ~queue_capacity =
@@ -63,6 +66,8 @@ let create sim ~name ~config ~channel_for ~queue_capacity =
     accepted = 0;
     in_propagation = 0;
     obs_trace = Obs.Trace.disabled;
+    blackout = false;
+    frames_blackholed = 0;
   }
 
 let set_receiver t f = t.receiver <- Some f
@@ -105,20 +110,33 @@ let rec transmit t frame =
     let air = air_bytes_of t frame in
     t.frames_sent <- t.frames_sent + 1;
     t.air_bytes_total <- t.air_bytes_total + air;
-    let channel = t.channel_for frame in
-    let segments =
-      Error_model.Channel.segments channel ~start
-        ~stop:(Simtime.add start airtime)
-    in
-    let bits_per_sec =
-      float_of_int (Units.bandwidth_to_bps t.cfg.bandwidth)
-    in
+    (* A disconnection blackout swallows the frame without consulting
+       the channel: its Gilbert–Elliott timeline (and thus its random
+       stream) advances lazily on the next query, so a blackout window
+       leaves all channel randomness untouched. *)
+    let blackholed = t.blackout in
     let lost =
+      (not blackholed)
+      &&
+      let channel = t.channel_for frame in
+      let segments =
+        Error_model.Channel.segments channel ~start
+          ~stop:(Simtime.add start airtime)
+      in
+      let bits_per_sec =
+        float_of_int (Units.bandwidth_to_bps t.cfg.bandwidth)
+      in
       Error_model.Loss.frame_lost t.cfg.decision t.cfg.ber ~bits_per_sec
         ~segments
     in
     (match t.on_frame_sent with Some f -> f frame | None -> ());
-    if lost then begin
+    if blackholed then begin
+      t.frames_blackholed <- t.frames_blackholed + 1;
+      if Obs.Trace.enabled t.obs_trace then
+        trace_emit t ~ev:"blackholed" frame;
+      notify t (Lost frame)
+    end
+    else if lost then begin
       t.frames_lost <- t.frames_lost + 1;
       if Obs.Trace.enabled t.obs_trace then trace_emit t ~ev:"lost" frame;
       notify t (Lost frame)
@@ -152,6 +170,10 @@ let send t frame =
 
 let busy t = t.transmitting
 let queue_length t = Queue_drop_tail.length t.queue
+let set_blackout t on = t.blackout <- on
+let in_blackout t = t.blackout
+let set_queue_capacity t capacity = Queue_drop_tail.set_capacity t.queue capacity
+let queue_capacity t = Queue_drop_tail.capacity t.queue
 
 let stats t =
   {
@@ -160,6 +182,7 @@ let stats t =
     frames_lost = t.frames_lost;
     frames_delivered = t.frames_delivered;
     drops = Queue_drop_tail.drops t.queue;
+    frames_blackholed = t.frames_blackholed;
   }
 
 let config t = t.cfg
@@ -171,12 +194,14 @@ let check_invariants t =
     = Queue_drop_tail.drops t.queue
       + Queue_drop_tail.length t.queue
       + (if t.transmitting then 1 else 0)
-      + t.in_propagation + t.frames_lost + t.frames_delivered)
+      + t.in_propagation + t.frames_lost + t.frames_delivered
+      + t.frames_blackholed)
     ~detail:(fun () ->
       Printf.sprintf
         "%s: accepted=%d but drops=%d queued=%d transmitting=%b \
-         propagating=%d lost=%d delivered=%d"
+         propagating=%d lost=%d delivered=%d blackholed=%d"
         t.link_name t.accepted
         (Queue_drop_tail.drops t.queue)
         (Queue_drop_tail.length t.queue)
-        t.transmitting t.in_propagation t.frames_lost t.frames_delivered)
+        t.transmitting t.in_propagation t.frames_lost t.frames_delivered
+        t.frames_blackholed)

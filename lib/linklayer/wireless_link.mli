@@ -21,6 +21,7 @@ type stats = {
   frames_lost : int;  (** frames destroyed by bit errors *)
   frames_delivered : int;  (** frames handed to the receiver *)
   drops : int;  (** queue-overflow drops *)
+  frames_blackholed : int;  (** frames swallowed by a blackout window *)
 }
 
 type monitor_event =
@@ -70,6 +71,25 @@ val queue_length : t -> int
 val stats : t -> stats
 val config : t -> config
 val name : t -> string
+
+(** {2 Fault injection} *)
+
+val set_blackout : t -> bool -> unit
+(** Enter or leave a disconnection window.  While in blackout, frames
+    still serialise (so sender-side timers behave normally) but are
+    then silently swallowed — the channel is never consulted, so its
+    random stream is unperturbed — and counted in [frames_blackholed].
+    Distinct from bad-state corruption: this models the link being
+    {e gone} (deep fade, handoff gap), not noisy. *)
+
+val in_blackout : t -> bool
+
+val set_queue_capacity : t -> int -> unit
+(** Change the drop-tail queue capacity in place (see
+    {!Queue_drop_tail.set_capacity}).  Used by fault injection to
+    force bursty overflow, then restore the configured capacity. *)
+
+val queue_capacity : t -> int
 
 (** {2 Observability} *)
 

@@ -1,5 +1,5 @@
 type 'a t = {
-  capacity : int;
+  mutable capacity : int;
   items : 'a Queue.t;
   mutable drop_count : int;
   mutable peak : int;
@@ -10,6 +10,10 @@ let create ~capacity () =
   { capacity; items = Queue.create (); drop_count = 0; peak = 0 }
 
 let capacity t = t.capacity
+
+let set_capacity t capacity =
+  if capacity <= 0 then invalid_arg "Queue_drop_tail.set_capacity: capacity <= 0";
+  t.capacity <- capacity
 let length t = Queue.length t.items
 let is_empty t = Queue.is_empty t.items
 

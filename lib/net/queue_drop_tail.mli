@@ -15,6 +15,12 @@ val create : capacity:int -> unit -> 'a t
 val capacity : 'a t -> int
 (** The configured bound. *)
 
+val set_capacity : 'a t -> int -> unit
+(** Change the bound in place.  Shrinking below the current length
+    does not evict queued elements — they drain normally — but new
+    arrivals are dropped until the length falls below the new bound.
+    @raise Invalid_argument if the new capacity is [<= 0]. *)
+
 val length : 'a t -> int
 (** Elements currently queued. *)
 

@@ -16,6 +16,10 @@ let write t s =
   | Chan oc -> output_string oc s
   | Custom f -> f s
 
+let flush = function
+  | Chan oc -> Stdlib.flush oc
+  | Null | Buf _ | Custom _ -> ()
+
 let contents = function
   | Buf b -> Some (Buffer.contents b)
   | Null | Chan _ | Custom _ -> None

@@ -20,6 +20,12 @@ val custom : (string -> unit) -> t
 
 val write : t -> string -> unit
 
+val flush : t -> unit
+(** Push buffered bytes to the destination: flushes the underlying
+    channel of an {!of_channel} sink; a no-op for the others.  Called
+    from the simulator's fault-path finalizer so a crashing run never
+    leaves a trace stranded in channel buffers. *)
+
 val contents : t -> string option
 (** The accumulated bytes of a {!buffer} sink; [None] for other
     sinks. *)

@@ -13,4 +13,5 @@ let emit t ~t_ns ~comp ~ev fields =
          :: ("ev", Jsonl.Str ev)
          :: fields))
 
+let flush t = if t.live then Sink.flush t.sink
 let contents t = Sink.contents t.sink

@@ -28,5 +28,9 @@ val emit :
 (** Append one event line: [t], [comp] and [ev] first, then the given
     fields in order. *)
 
+val flush : t -> unit
+(** Flush the underlying sink (see {!Sink.flush}).  No-op when
+    disabled. *)
+
 val contents : t -> string option
 (** The bytes accumulated so far, when the sink is a buffer. *)

@@ -24,6 +24,8 @@ type outcome = {
   end_time : Simtime.t;
   events_executed : int;
   queue_stats : Event_queue.stats;
+  fault : Simulator.fault_report option;
+  fault_events : Error_model.Fault.event list;
 }
 
 let fh_addr = Address.make 0
@@ -41,9 +43,12 @@ let build_channel sim (w : Scenario.wireless) =
       ~rng:(Rng.split (Simulator.rng sim))
       ~mean_good:w.Scenario.mean_good ~mean_bad:w.Scenario.mean_bad
 
-let run ?obs (scenario : Scenario.t) =
+let run ?obs ?faults (scenario : Scenario.t) =
   let open Scenario in
   let sim = Simulator.create ~seed:scenario.seed () in
+  let faults_plan =
+    match faults with Some _ as p -> p | None -> Faults.Plan.default ()
+  in
   let packet_ids = Ids.create () in
   let alloc_id () = Ids.next packet_ids in
   let frame_ids = Ids.create () in
@@ -303,16 +308,88 @@ let run ?obs (scenario : Scenario.t) =
   | Some relay -> Node.set_forward_hook bs (Agents.Split_conn.on_forward relay)
   | None -> ());
 
+  (* Feedback gates (created unconditionally so the fault injector can
+     reset them on a BS crash; allocation only, no events or draws). *)
+  let ebsn_gate = Feedback.Ebsn.gate ~trace:obs_trace scenario.ebsn_pacing in
+  let quench_gate =
+    Feedback.Source_quench.gate scenario.quench_trigger
+      ~min_interval:scenario.quench_min_interval
+  in
+
+  (* Fault injection.  The injector owns no model state: it drives the
+     stack through these closures, and draws no randomness, so the
+     empty plan leaves the event stream byte-identical to a plain
+     run. *)
+  let injector =
+    match faults_plan with
+    | None -> None
+    | Some plan ->
+      let links_of = function
+        | Faults.Plan.Down -> [ downlink ]
+        | Faults.Plan.Up -> [ uplink ]
+        | Faults.Plan.Both -> [ downlink; uplink ]
+      in
+      let hooks =
+        {
+          Faults.Injector.set_blackout =
+            (fun target on ->
+              List.iter
+                (fun l -> Wireless_link.set_blackout l on)
+                (links_of target));
+          crash_bs =
+            (fun () ->
+              let arq_dropped =
+                match downlink_arq with Some a -> Arq.crash a | None -> 0
+              in
+              let partials = Reassembly.crash bs_reasm in
+              Feedback.Ebsn.reset ebsn_gate;
+              Printf.sprintf
+                "dropped %d arq frames and %d reassembly partials; feedback \
+                 pacing reset"
+                arq_dropped partials);
+          set_queue_squeeze =
+            (fun target on ->
+              let apply l =
+                let before = Wireless_link.queue_capacity l in
+                let cap = if on then 1 else scenario.frame_queue_capacity in
+                Wireless_link.set_queue_capacity l cap;
+                Printf.sprintf "%s capacity %d->%d" (Wireless_link.name l)
+                  before cap
+              in
+              String.concat "; " (List.map apply (links_of target)));
+        }
+      in
+      Some (Faults.Injector.install sim ~plan ~hooks)
+  in
+  (* Crash-safe observability: flush trace sinks even when a handler
+     raises, so a faulting run never strands output mid-record. *)
+  Simulator.add_finalizer sim (fun () -> Obs.Trace.flush obs_trace);
+
   (* Feedback from the base station. *)
   let ebsn_sent = ref 0 and quench_sent = ref 0 in
+  (* A notification the BS believes it sent can be lost, duplicated or
+     delayed by the fault plan; the sent counter and pacing state
+     update regardless, exactly as a real BS would behave. *)
+  let send_notification ~make_packet =
+    let verdict =
+      match injector with
+      | None -> Faults.Injector.Deliver
+      | Some inj -> Faults.Injector.notification_verdict inj
+    in
+    match verdict with
+    | Faults.Injector.Deliver -> Node.send bs (make_packet ())
+    | Faults.Injector.Drop -> ()
+    | Faults.Injector.Duplicate ->
+      Node.send bs (make_packet ());
+      Node.send bs (make_packet ())
+    | Faults.Injector.Delay delay ->
+      ignore
+        (Simulator.schedule_after sim ~delay (fun () ->
+             Node.send bs (make_packet ())))
+  in
   (match downlink_arq with
   | None -> ()
   | Some arq ->
-    let ebsn_gate = Feedback.Ebsn.gate ~trace:obs_trace scenario.ebsn_pacing in
-    let quench_gate =
-      Feedback.Source_quench.gate scenario.quench_trigger
-        ~min_interval:scenario.quench_min_interval
-    in
     Arq.set_on_attempt_failure arq (fun frame ~attempt:_ ->
         match Frame.packet frame with
         | Some pkt when Packet.is_data pkt -> (
@@ -324,18 +401,18 @@ let run ?obs (scenario : Scenario.t) =
               Slog.debug sim "bs sends ebsn (attempt failed for %a)"
                 Packet.pp pkt;
               incr ebsn_sent;
-              Node.send bs
-                (Feedback.Ebsn.make ~alloc_id ~src:bs_addr
-                   ~dst:pkt.Packet.src ~conn ~now);
+              send_notification ~make_packet:(fun () ->
+                  Feedback.Ebsn.make ~alloc_id ~src:bs_addr
+                    ~dst:pkt.Packet.src ~conn ~now:(Simulator.now sim));
               Feedback.Ebsn.record ebsn_gate ~conn ~now
             end
           | Quench ->
             if Feedback.Source_quench.admit_failure quench_gate ~conn ~now
             then begin
               incr quench_sent;
-              Node.send bs
-                (Feedback.Source_quench.make ~alloc_id ~src:bs_addr
-                   ~dst:pkt.Packet.src ~conn ~now)
+              send_notification ~make_packet:(fun () ->
+                  Feedback.Source_quench.make ~alloc_id ~src:bs_addr
+                    ~dst:pkt.Packet.src ~conn ~now:(Simulator.now sim))
             end
           | Basic | Local_recovery | Snoop | Split -> ())
         | Some _ | None -> ()));
@@ -406,7 +483,20 @@ let run ?obs (scenario : Scenario.t) =
   Tcp_sink.set_on_complete sink (fun () -> Simulator.stop sim);
   let start_time = Simulator.now sim in
   Tahoe_sender.start sender;
-  Simulator.run ~until:(Simtime.add start_time scenario.horizon) sim;
+  let fault =
+    try
+      Simulator.run ~until:(Simtime.add start_time scenario.horizon) sim;
+      None
+    with Simulator.Fault report ->
+      (* Under fault injection a failing component yields a partial
+         outcome carrying the report.  Without it, callers (tests, the
+         obs mutation canary) expect the original exception — e.g. an
+         [Obs.Invariant.Violation] — so unwrap and re-raise it. *)
+      if Option.is_some injector then Some report
+      else
+        Printexc.raise_with_backtrace report.Simulator.error
+          report.Simulator.backtrace
+  in
   let completed = Tcp_sink.completed sink in
   let result =
     if completed then
@@ -447,7 +537,8 @@ let run ?obs (scenario : Scenario.t) =
         c (prefix ^ ".air_bytes") ls.Wireless_link.air_bytes;
         c (prefix ^ ".frames_lost") ls.Wireless_link.frames_lost;
         c (prefix ^ ".frames_delivered") ls.Wireless_link.frames_delivered;
-        c (prefix ^ ".drops") ls.Wireless_link.drops
+        c (prefix ^ ".drops") ls.Wireless_link.drops;
+        c (prefix ^ ".frames_blackholed") ls.Wireless_link.frames_blackholed
       in
       link "link.down" (Wireless_link.stats downlink);
       link "link.up" (Wireless_link.stats uplink);
@@ -459,7 +550,9 @@ let run ?obs (scenario : Scenario.t) =
         c (prefix ^ ".discards") s.Arq.discards;
         c (prefix ^ ".attempt_failures") s.Arq.attempt_failures;
         c (prefix ^ ".spurious_acks") s.Arq.spurious_acks;
-        c (prefix ^ ".sched_drops") s.Arq.sched_drops
+        c (prefix ^ ".sched_drops") s.Arq.sched_drops;
+        c (prefix ^ ".crashes") s.Arq.crashes;
+        c (prefix ^ ".crash_dropped") s.Arq.crash_dropped
       in
       Option.iter (arq "arq.down") downlink_arq;
       Option.iter (arq "arq.up") uplink_arq;
@@ -489,6 +582,11 @@ let run ?obs (scenario : Scenario.t) =
     end_time = Simulator.now sim;
     events_executed = Simulator.events_executed sim;
     queue_stats = Simulator.queue_stats sim;
+    fault;
+    fault_events =
+      (match injector with
+      | Some inj -> Faults.Injector.events inj
+      | None -> []);
   }
 
 let throughput_bps outcome =

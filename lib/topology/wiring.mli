@@ -36,16 +36,31 @@ type outcome = {
   queue_stats : Sim_engine.Event_queue.stats;
       (** lifetime pending-event-set counters, for the engine stats
           surface ([wtcp run --engine-stats]) *)
+  fault : Sim_engine.Simulator.fault_report option;
+      (** present when fault injection was active and a component
+          raised: the run ended early and this outcome is partial *)
+  fault_events : Error_model.Fault.event list;
+      (** faults the plan actually applied, in application order
+          (empty without fault injection) *)
 }
 
-val run : ?obs:Obs.Config.t -> Scenario.t -> outcome
+val run : ?obs:Obs.Config.t -> ?faults:Faults.Plan.t -> Scenario.t -> outcome
 (** Execute the scenario.  Deterministic: equal scenarios (including
     seed) produce equal outcomes — including the observability
     output, which is byte-identical across replications and [jobs=]
     settings.  [obs] (default {!Obs.Config.default}) selects invariant
     checking ({!Obs.Invariant.Violation} raised out of the run on the
     first violated invariant), structured tracing and metrics
-    collection. *)
+    collection.
+
+    [faults] (default [Faults.Plan.default ()], normally [None])
+    schedules a deterministic fault plan through the run.  Fault
+    application draws no randomness, so the empty plan is
+    byte-identical to a plain run.  With a plan active, an exception
+    escaping a component yields a {e partial} outcome with [fault]
+    set (finalizers flushed, statistics valid up to the failure)
+    instead of raising; without one, the original exception (e.g. an
+    invariant violation) propagates unchanged. *)
 
 val throughput_bps : outcome -> float
 (** The paper's throughput metric (0 when the run did not

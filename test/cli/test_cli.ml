@@ -1,0 +1,65 @@
+(* CLI robustness checks, run against the real wtcp binary (path in
+   argv 1): every subcommand must reject an unknown flag with a
+   non-zero exit and usage text on stderr, unknown subcommands must
+   fail, and the documented happy paths must exit 0.  Golden-output
+   drift is covered by the sibling diff rules; this file covers the
+   error surface. *)
+
+let wtcp = Sys.argv.(1)
+let failures = ref 0
+
+let check name ok =
+  if ok then Printf.printf "ok   %s\n" name
+  else begin
+    incr failures;
+    Printf.printf "FAIL %s\n" name
+  end
+
+(* Exit code and captured stderr of [wtcp args], stdout discarded. *)
+let run_wtcp args =
+  let err = Filename.temp_file "wtcp_cli" ".err" in
+  let cmd =
+    Printf.sprintf "%s %s >/dev/null 2>%s" (Filename.quote wtcp) args
+      (Filename.quote err)
+  in
+  let code = Sys.command cmd in
+  let ic = open_in_bin err in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove err;
+  (code, text)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let () =
+  let subcommands =
+    [ "run"; "trace"; "advisor"; "theory"; "compare"; "handoff"; "csdp";
+      "chaos" ]
+  in
+  List.iter
+    (fun sub ->
+      let code, err = run_wtcp (sub ^ " --definitely-not-a-flag") in
+      check
+        (Printf.sprintf "%s: unknown flag exits 124 (got %d)" sub code)
+        (code = 124);
+      check
+        (Printf.sprintf "%s: unknown flag prints usage on stderr" sub)
+        (contains err "unknown option"
+        && (contains err "Usage" || contains err "usage")))
+    subcommands;
+  let code, err = run_wtcp "frobnicate" in
+  check
+    (Printf.sprintf "unknown subcommand exits 124 (got %d)" code)
+    (code = 124);
+  check "unknown subcommand names the bad command"
+    (contains err "frobnicate");
+  let code, _ = run_wtcp "theory --bad 2" in
+  check (Printf.sprintf "theory happy path exits 0 (got %d)" code) (code = 0);
+  let code, _ = run_wtcp "chaos --plans 2 --check" in
+  check
+    (Printf.sprintf "chaos happy path exits 0 (got %d)" code)
+    (code = 0);
+  if !failures > 0 then exit 1

@@ -357,6 +357,7 @@ let test_wireless_frame_sent_hook () =
 type rig = {
   sim : Simulator.t;
   arq : Arq.t;
+  down : Wireless_link.t;  (* the lossy link under the ARQ sender *)
   receiver : Arq_receiver.t;
   delivered : int list ref;  (* packet ids, in delivery order *)
 }
@@ -400,7 +401,7 @@ let make_rig ?(rt_max = 3) ?(window = 4) ?(channel = Uniform_channel.perfect ())
       match frame.Frame.payload with
       | Frame.Link_ack { acked_seq } -> Arq.handle_link_ack arq ~acked_seq
       | Frame.Whole _ | Frame.Fragment _ -> ());
-  { sim; arq; receiver; delivered }
+  { sim; arq; down; receiver; delivered }
 
 let send_packets rig n =
   for i = 0 to n - 1 do
@@ -588,6 +589,160 @@ let test_receiver_dedup_mode () =
   Arq_receiver.receive receiver { Frame.seq = 1; payload = Frame.Whole (mk_data ~id:1 ()) };
   Alcotest.(check int) "two distinct frames delivered" 2 !delivered
 
+(* ------------------------------------------------------------------ *)
+(* Fault hooks: blackout, crash, reassembly under frame loss           *)
+(* ------------------------------------------------------------------ *)
+
+let test_wireless_blackout_swallows () =
+  let sim = Simulator.create () in
+  let link = make_link sim in
+  let arrivals = ref 0 in
+  let sent_hook = ref 0 in
+  Wireless_link.set_receiver link (fun _ -> incr arrivals);
+  Wireless_link.set_on_frame_sent link (fun _ -> incr sent_hook);
+  Wireless_link.set_blackout link true;
+  Wireless_link.send link { Frame.seq = 0; payload = Frame.Whole (mk_data ~len:88 ()) };
+  Simulator.run sim;
+  Alcotest.(check int) "nothing delivered" 0 !arrivals;
+  Alcotest.(check int) "serialisation still completes" 1 !sent_hook;
+  let stats = Wireless_link.stats link in
+  Alcotest.(check int) "blackholed counted" 1 stats.Wireless_link.frames_blackholed;
+  Alcotest.(check int) "not counted as channel loss" 0 stats.Wireless_link.frames_lost;
+  (* Leaving the blackout restores delivery. *)
+  Wireless_link.set_blackout link false;
+  Wireless_link.send link { Frame.seq = 1; payload = Frame.Whole (mk_data ~len:88 ()) };
+  Simulator.run sim;
+  Alcotest.(check int) "delivery resumes" 1 !arrivals
+
+(* rt_max=13 is the paper's LAN retransmission limit: under a total
+   disconnection the ARQ must make exactly 1 + rt_max attempts, then
+   discard and go idle — not raise, not retry forever. *)
+let arq_discard_under_blackout rt_max =
+  let rig = make_rig ~rt_max () in
+  let link = rig.down in
+  let discarded = ref 0 in
+  Arq.set_on_discard rig.arq (fun _ -> incr discarded);
+  Wireless_link.set_blackout link true;
+  send_packets rig 1;
+  Simulator.run rig.sim;
+  Arq.check_invariants rig.arq;
+  let stats = Arq.stats rig.arq in
+  (!discarded, stats, Wireless_link.stats link, Arq.idle rig.arq)
+
+let test_arq_discard_at_rt_max_13 () =
+  let discarded, stats, link_stats, idle = arq_discard_under_blackout 13 in
+  Alcotest.(check int) "one discard" 1 discarded;
+  Alcotest.(check int) "14 transmissions (1 + rt_max)" 14 stats.Arq.transmissions;
+  Alcotest.(check int) "13 retransmissions" 13 stats.Arq.retransmissions;
+  Alcotest.(check int) "every attempt blackholed" 14
+    link_stats.Wireless_link.frames_blackholed;
+  Alcotest.(check int) "nothing completed" 0 stats.Arq.completions;
+  Alcotest.(check bool) "sender idle after discard" true idle
+
+let prop_arq_discard_any_rt_max =
+  QCheck2.Test.make ~name:"blackout discard makes exactly 1+rt_max attempts"
+    ~count:13
+    QCheck2.Gen.(int_range 1 13)
+    (fun rt_max ->
+      let discarded, stats, link_stats, idle = arq_discard_under_blackout rt_max in
+      discarded = 1
+      && stats.Arq.transmissions = rt_max + 1
+      && link_stats.Wireless_link.frames_blackholed = rt_max + 1
+      && stats.Arq.discards = 1 && idle)
+
+let test_reassembly_timeout_under_frame_loss () =
+  (* First fragment arrives, then the link disconnects: the receiver's
+     partial packet must be timed out and discarded, not held forever. *)
+  let sim = Simulator.create () in
+  let link = make_link sim in
+  let r, delivered = reassembler ~timeout:(sec 1.0) sim in
+  Wireless_link.set_receiver link (fun frame ->
+      Reassembly.receive r frame.Frame.payload);
+  let payloads = Fragmenter.split ~mtu:128 (mk_data ~id:3 ~len:536 ()) in
+  List.iteri
+    (fun i payload -> Wireless_link.send link { Frame.seq = i; payload })
+    payloads;
+  (* Disconnect after the first fragment's 80 ms serialisation: the
+     rest of the packet is swallowed in flight. *)
+  ignore
+    (Simulator.schedule_after sim ~delay:(Simtime.span_ms 90) (fun () ->
+         Wireless_link.set_blackout link true));
+  Simulator.run sim;
+  Alcotest.(check (list int)) "nothing delivered" [] !delivered;
+  Alcotest.(check int) "partial purged" 0 (Reassembly.pending r);
+  Alcotest.(check int) "failure counted" 1 (Reassembly.stats r).Reassembly.failures;
+  (* A fresh packet after the loss still reassembles. *)
+  Wireless_link.set_blackout link false;
+  List.iteri
+    (fun i payload -> Wireless_link.send link { Frame.seq = 100 + i; payload })
+    (Fragmenter.split ~mtu:128 (mk_data ~id:4 ~len:536 ()));
+  Simulator.run sim;
+  Alcotest.(check (list int)) "recovers after the loss" [ 4 ] !delivered
+
+let test_arq_crash_reclaims_slots () =
+  let rig = make_rig ~rt_max:20 ~window:2 () in
+  let link = rig.down in
+  Wireless_link.set_blackout link true;
+  send_packets rig 6;
+  Simulator.run ~until:(Simtime.of_ns 500_000_000) rig.sim;
+  Alcotest.(check int) "window full pre-crash" 2 (Arq.in_flight rig.arq);
+  Alcotest.(check int) "backlog pre-crash" 4 (Arq.backlog rig.arq);
+  let dropped = Arq.crash rig.arq in
+  Alcotest.(check int) "all queued state dropped" 6 dropped;
+  Alcotest.(check int) "no in-flight after crash" 0 (Arq.in_flight rig.arq);
+  Alcotest.(check int) "no backlog after crash" 0 (Arq.backlog rig.arq);
+  Alcotest.(check bool) "idle after crash" true (Arq.idle rig.arq);
+  Arq.check_invariants rig.arq;
+  let stats = Arq.stats rig.arq in
+  Alcotest.(check int) "crash counted" 1 stats.Arq.crashes;
+  Alcotest.(check int) "dropped tally" 6 stats.Arq.crash_dropped;
+  (* The rebooted sender works: new traffic completes end to end. *)
+  Wireless_link.set_blackout link false;
+  for i = 10 to 12 do
+    ignore (Arq.send rig.arq ~conn:0 (Frame.Whole (mk_data ~id:i ~len:88 ())))
+  done;
+  Simulator.run rig.sim;
+  Arq.check_invariants rig.arq;
+  Alcotest.(check (list int)) "post-crash traffic delivered" [ 10; 11; 12 ]
+    (List.rev !(rig.delivered));
+  Alcotest.(check bool) "idle again" true (Arq.idle rig.arq)
+
+let test_arq_crash_ignores_stale_acks () =
+  let rig = make_rig ~window:4 () in
+  send_packets rig 2;
+  (* Crash while both frames are still serialising. *)
+  let dropped = Arq.crash rig.arq in
+  Alcotest.(check int) "both dropped" 2 dropped;
+  Simulator.run rig.sim;
+  Arq.check_invariants rig.arq;
+  (* The receiver's acks for pre-crash frames are spurious, not fatal. *)
+  let stats = Arq.stats rig.arq in
+  Alcotest.(check int) "no completions for dropped frames" 0 stats.Arq.completions;
+  Alcotest.(check bool) "stale acks counted spurious" true
+    (stats.Arq.spurious_acks >= 1);
+  Alcotest.(check bool) "idle" true (Arq.idle rig.arq)
+
+let test_reassembly_crash_drops_partials () =
+  let sim = Simulator.create () in
+  let r, delivered = reassembler ~timeout:(sec 5.0) sim in
+  let frags pkt = Fragmenter.split ~mtu:128 pkt in
+  (* Two partial packets in the buffer. *)
+  (match frags (mk_data ~id:1 ~len:536 ()) with
+  | first :: _ -> Reassembly.receive r first
+  | [] -> Alcotest.fail "no fragments");
+  (match frags (mk_data ~id:2 ~len:536 ()) with
+  | first :: _ -> Reassembly.receive r first
+  | [] -> Alcotest.fail "no fragments");
+  Alcotest.(check int) "two partials" 2 (Reassembly.pending r);
+  let lost = Reassembly.crash r in
+  Alcotest.(check int) "both lost" 2 lost;
+  Alcotest.(check int) "buffer empty" 0 (Reassembly.pending r);
+  Alcotest.(check int) "failures counted" 2 (Reassembly.stats r).Reassembly.failures;
+  (* No pending purge timers fire later, and new packets reassemble. *)
+  List.iter (Reassembly.receive r) (frags (mk_data ~id:3 ~len:536 ()));
+  Simulator.run sim;
+  Alcotest.(check (list int)) "post-crash delivery" [ 3 ] !delivered
+
 let test_receiver_link_acks_routed () =
   let sim = Simulator.create () in
   let acked = ref [] in
@@ -664,6 +819,22 @@ let () =
           Alcotest.test_case "spurious ack" `Quick test_arq_spurious_ack_counted;
           Alcotest.test_case "early link ack deferred" `Quick
             test_arq_early_link_ack_deferred;
+        ] );
+      ( "fault hooks",
+        [
+          Alcotest.test_case "blackout swallows frames" `Quick
+            test_wireless_blackout_swallows;
+          Alcotest.test_case "discard at rt_max=13" `Quick
+            test_arq_discard_at_rt_max_13;
+          qc prop_arq_discard_any_rt_max;
+          Alcotest.test_case "reassembly timeout under frame loss" `Quick
+            test_reassembly_timeout_under_frame_loss;
+          Alcotest.test_case "arq crash reclaims slots" `Quick
+            test_arq_crash_reclaims_slots;
+          Alcotest.test_case "arq crash ignores stale acks" `Quick
+            test_arq_crash_ignores_stale_acks;
+          Alcotest.test_case "reassembly crash drops partials" `Quick
+            test_reassembly_crash_drops_partials;
         ] );
       ( "arq_receiver",
         [

@@ -176,10 +176,17 @@ let test_mutation_canary () =
   ignore
     (Simulator.schedule sim ~at:(Simtime.of_ns 10) (fun () ->
          Tahoe_sender.For_testing.corrupt_sequence_state sender));
+  (* [Simulator.run] wraps handler exceptions — violations included —
+     in a fault report carrying queue state at the point of failure. *)
   (match Simulator.run sim with
   | () -> Alcotest.fail "corrupted sender must trip the checker"
-  | exception Obs.Invariant.Violation { name; _ } ->
-    Alcotest.(check string) "named invariant" "tcp.sequence_order" name);
+  | exception Simulator.Fault report ->
+    (match report.Simulator.error with
+    | Obs.Invariant.Violation { name; _ } ->
+      Alcotest.(check string) "named invariant" "tcp.sequence_order" name
+    | exn -> Alcotest.fail ("expected a violation, got " ^ Printexc.to_string exn));
+    Alcotest.(check bool) "events counted in report" true
+      (report.Simulator.events_executed > 0));
   (* Unchecked, the same corruption passes silently — the canary shows
      the checker, not the schedule, catches it. *)
   let sim2 = Simulator.create ~seed:1 () in
