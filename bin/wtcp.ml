@@ -423,26 +423,33 @@ let handoff_cmd =
       value & opt float 8.0
       & info [ "residence" ] ~docv:"SEC" ~doc:"Cell residence time.")
   in
-  let action blackout residence seed =
+  let action blackout residence seed jobs =
     Printf.printf "%-18s %10s %9s %10s %9s\n" "policy" "tput kbps" "timeouts"
       "fast retx" "handoffs";
+    let results =
+      Core.Parallel.map ~jobs
+        (fun policy ->
+          ( policy,
+            Core.Handoff.run ~blackout_sec:blackout ~residence_sec:residence
+              ~seed ~policy () ))
+        [
+          Core.Handoff.Plain; Core.Handoff.Fast_rtx;
+          Core.Handoff.Fast_rtx_reroute;
+        ]
+    in
     List.iter
-      (fun policy ->
-        let r =
-          Core.Handoff.run ~blackout_sec:blackout ~residence_sec:residence
-            ~seed ~policy ()
-        in
+      (fun (policy, r) ->
         Printf.printf "%-18s %10.2f %9d %10d %9d\n"
           (Core.Handoff.policy_name policy)
           (r.Core.Handoff.throughput_bps /. 1e3)
           r.Core.Handoff.source_timeouts r.Core.Handoff.fast_retransmits
           r.Core.Handoff.handoffs)
-      [ Core.Handoff.Plain; Core.Handoff.Fast_rtx; Core.Handoff.Fast_rtx_reroute ]
+      results
   in
   Cmd.v
     (Cmd.info "handoff"
        ~doc:"Handoff experiment: plain TCP vs fast retransmit on re-attach")
-    Term.(const action $ blackout_arg $ residence_arg $ seed_arg)
+    Term.(const action $ blackout_arg $ residence_arg $ seed_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* csdp                                                                *)
@@ -454,10 +461,14 @@ let csdp_cmd =
       value & opt int 2
       & info [ "connections" ] ~docv:"N" ~doc:"Connections sharing the radio.")
   in
-  let action n_conns seed =
+  let action n_conns seed jobs =
+    let results =
+      Core.Parallel.map ~jobs
+        (fun policy -> (policy, Core.Csdp.run ~n_conns ~seed ~policy ()))
+        [ Core.Sched.Fifo; Core.Sched.Round_robin ]
+    in
     List.iter
-      (fun policy ->
-        let r = Core.Csdp.run ~n_conns ~seed ~policy () in
+      (fun (policy, r) ->
         Printf.printf "%s:\n"
           (match policy with
           | Core.Sched.Fifo -> "fifo"
@@ -469,12 +480,12 @@ let csdp_cmd =
               (if c.Core.Csdp.completed then "" else " (incomplete)"))
           r.Core.Csdp.per_conn;
         Printf.printf "  aggregate: %.2f kbps\n" (r.Core.Csdp.aggregate_bps /. 1e3))
-      [ Core.Sched.Fifo; Core.Sched.Round_robin ]
+      results
   in
   Cmd.v
     (Cmd.info "csdp"
        ~doc:"Shared-radio scheduling: FIFO vs round-robin (CSDP)")
-    Term.(const action $ conns_arg $ seed_arg)
+    Term.(const action $ conns_arg $ seed_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* chaos                                                               *)

@@ -36,5 +36,7 @@ val run :
 (** Run the shared-radio scenario under one scheduling policy
     (round-robin also enables backoff deferral). *)
 
-val render : ?seeds:int list -> unit -> string
-(** FIFO vs round-robin comparison table, averaged over seeds. *)
+val render : ?seeds:int list -> ?jobs:int -> unit -> string
+(** FIFO vs round-robin comparison table, averaged over seeds.
+    [jobs] fans the (policy × seed) grid out across the persistent
+    domain pool; the table is identical at any [jobs]. *)

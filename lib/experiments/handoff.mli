@@ -46,5 +46,7 @@ val run :
     8 s cell residence, 0.5 s blackout.  The wireless channels are
     error-free so handoffs are the only loss source. *)
 
-val render : ?seeds:int list -> unit -> string
-(** Comparison table over several seeds and blackout lengths. *)
+val render : ?seeds:int list -> ?jobs:int -> unit -> string
+(** Comparison table over several seeds and blackout lengths.
+    [jobs] fans the (variant × seed) grid out across the persistent
+    domain pool; the table is identical at any [jobs]. *)

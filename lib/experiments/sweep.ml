@@ -3,38 +3,30 @@ open Topology
 let default_replications = 10
 let seeds ~replications = List.init replications (fun i -> (1000 * i) + 17)
 
-(* Tail-recursive throughout, so a replication list of any length
-   (huge [reps=] values) can be regrouped without stack overflow. *)
-let chunk n xs =
-  let rec take k acc = function
-    | rest when k = 0 -> (List.rev acc, rest)
-    | [] -> (List.rev acc, [])
-    | x :: rest -> take (k - 1) (x :: acc) rest
-  in
-  let rec go acc = function
-    | [] -> List.rev acc
-    | xs ->
-      let head, rest = take n [] xs in
-      go (head :: acc) rest
-  in
-  go [] xs
-
-(* Every (scenario, seed) pair of a whole sweep fans out across one
-   domain pool: far fewer spawns than a pool per sweep point, and
-   enough jobs to keep every domain busy.  The job list is built in
-   deterministic order and [Parallel.map] preserves it, so the
-   per-scenario measurement lists are bit-identical at any [jobs]. *)
+(* Every (scenario, seed) pair of a whole sweep fans out as one flat
+   array over the persistent domain pool: one warm pool serves the
+   whole matrix, and the coarse chunks the pool steals span several
+   replications each.  The job array is built in deterministic order
+   and [Parallel.map_array] preserves it (results merge by index), so
+   the per-scenario measurement lists are bit-identical at any
+   [jobs].  Array-native end to end: no list↔array copies sit on the
+   replication hot path. *)
 let measurements_all ?(replications = default_replications) ?(jobs = 1)
     scenarios =
   if replications <= 0 then List.map (fun _ -> []) scenarios
-  else
-  let seeds = seeds ~replications in
-  let runs =
-    List.concat_map
-      (fun scenario -> List.map (Scenario.with_seed scenario) seeds)
-      scenarios
-  in
-  chunk replications (Sim_engine.Parallel.map ~jobs Run.measure runs)
+  else begin
+    let scenarios = Array.of_list scenarios in
+    let n_scenarios = Array.length scenarios in
+    let runs =
+      Array.init (n_scenarios * replications) (fun i ->
+          Scenario.with_seed
+            scenarios.(i / replications)
+            ((1000 * (i mod replications)) + 17))
+    in
+    let out = Sim_engine.Parallel.map_array ~jobs Run.measure runs in
+    List.init n_scenarios (fun s ->
+        List.init replications (fun r -> out.((s * replications) + r)))
+  end
 
 let measurements ?replications ?jobs scenario =
   match measurements_all ?replications ?jobs [ scenario ] with

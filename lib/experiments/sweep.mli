@@ -33,10 +33,11 @@ val measurements_all :
   ?jobs:int ->
   Topology.Scenario.t list ->
   Run.measurement list list
-(** Per-seed measurements for several scenarios, fanned out across
-    one shared domain pool (every (scenario, seed) pair is one job).
-    Sweep drivers prefer this over per-point [measurements]: one pool
-    serves the whole matrix.  Result [i] equals
+(** Per-seed measurements for several scenarios, fanned out as one
+    flat (scenario, seed) array over the persistent domain pool
+    ({!Sim_engine.Parallel.Pool}).  Sweep drivers prefer this over
+    per-point [measurements]: one warm pool serves the whole matrix
+    and each steal spans several replications.  Result [i] equals
     [measurements scenario_i] exactly, at any [jobs]. *)
 
 val replicate_all :
