@@ -181,7 +181,16 @@ let print_engine_stats outcome =
     qs.Event_queue.cancels qs.Event_queue.max_size;
   Printf.printf
     "cleanup:    %d dead nodes dropped lazily, %d compaction sweeps\n"
-    qs.Event_queue.dead_drops qs.Event_queue.compactions
+    qs.Event_queue.dead_drops qs.Event_queue.compactions;
+  Printf.printf
+    "calendar:   %d near-horizon adds, %d bucket pops, %d window rebases\n"
+    qs.Event_queue.near_adds qs.Event_queue.near_pops qs.Event_queue.rebases;
+  let ts = outcome.Wiring.timer_stats in
+  Printf.printf
+    "timers:     %d arms (%d fused), %d lazy cancels, %d fires (%d stale), %d \
+     chases\n"
+    ts.Soft_timer.arms ts.Soft_timer.fuses ts.Soft_timer.lazy_cancels
+    ts.Soft_timer.fires ts.Soft_timer.stale_fires ts.Soft_timer.chases
 
 let print_outcome scenario outcome =
   let open Core in

@@ -27,6 +27,7 @@ module Simtime = Sim_engine.Simtime
 module Rng = Sim_engine.Rng
 module Event_queue = Sim_engine.Event_queue
 module Simulator = Sim_engine.Simulator
+module Soft_timer = Sim_engine.Soft_timer
 module Slog = Sim_engine.Slog
 module Parallel = Sim_engine.Parallel
 

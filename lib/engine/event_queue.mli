@@ -1,13 +1,20 @@
 (** Pending-event set for the discrete-event simulator.
 
-    A struct-of-arrays 4-ary min-heap ordered by (time, insertion
-    number), so events scheduled for the same instant fire in the
-    order they were scheduled.  Cancellation is O(1) (lazy deletion);
-    dead entries are dropped when they surface at the root and swept
-    wholesale whenever live entries fall below half the heap, so heap
-    occupancy stays O(live entries) even under cancel-heavy load.
-    Payload slots are recycled through a free pool: steady-state
-    scheduling allocates nothing on the minor heap. *)
+    Two tiers behind one interface: a calendar-style sliding window of
+    unsorted buckets absorbs near-horizon events (frame airtimes, ARQ
+    ack timeouts and retry backoffs — an O(1) append and a one-bucket
+    scan instead of heap sifts), and a struct-of-arrays 4-ary min-heap
+    holds everything beyond the window (coarse TCP tick timers).  Pops
+    compare the bucket tier's minimum against the heap root by exact
+    (time, insertion order) key, so the pop sequence is the unique
+    total order regardless of which tier a node landed in.
+    Cancellation is O(1) (lazy deletion); dead entries are dropped
+    when they surface at the heap root or are crossed by a bucket
+    scan, and swept wholesale whenever live entries fall below half
+    the total occupancy, so occupancy stays O(live entries) even under
+    cancel-heavy load.  Payload slots are recycled through a free
+    pool: steady-state scheduling allocates nothing on the minor
+    heap. *)
 
 type 'a t
 (** A queue of events carrying values of type ['a]. *)
@@ -16,6 +23,11 @@ type handle
 (** Identifies a scheduled event, for cancellation.  Handles are
     immediate values (no allocation per {!add}) and are only
     meaningful with the queue that issued them. *)
+
+val null : handle
+(** A handle that is live in no queue: {!cancel} on it is a no-op and
+    {!is_live} is [false].  Lets callers keep a plain [handle] field
+    (no [option] box) for "no event pending". *)
 
 val create : unit -> 'a t
 (** An empty queue. *)
@@ -33,7 +45,7 @@ val add : 'a t -> time:Simtime.t -> 'a -> handle
 val cancel : 'a t -> handle -> unit
 (** Remove a scheduled event.  Cancelling an event that already fired
     or was already cancelled is a no-op.  The event's payload slot is
-    recycled immediately; its heap node is dropped lazily (see
+    recycled immediately; its node is dropped lazily (see
     [dead_drops] and [compactions] in {!stats}). *)
 
 val is_live : 'a t -> handle -> bool
@@ -41,19 +53,31 @@ val is_live : 'a t -> handle -> bool
 
 val peek_time : 'a t -> Simtime.t option
 (** Time of the earliest live event, if any.  Performs amortised
-    cleanup: cancelled entries that have surfaced at the heap root are
-    removed (counted in [dead_drops]), so a call may mutate the heap's
-    internal layout — never its live contents or pop order. *)
+    cleanup: cancelled entries that have surfaced at the heap root or
+    sit in a scanned-over bucket are removed (counted in
+    [dead_drops]), so a call may mutate internal layout — never the
+    live contents or pop order. *)
+
+val next_time_ns : 'a t -> int
+(** Allocation-free {!peek_time}: the earliest live event's time in
+    nanoseconds, or [Int.min_int] when no live event is pending.  Same
+    amortised cleanup. *)
 
 val pop : 'a t -> (Simtime.t * 'a) option
 (** Remove and return the earliest live event.  Like {!peek_time},
-    drops any cancelled entries that surface at the root on the way. *)
+    drops any cancelled entries crossed on the way. *)
+
+val take_exn : 'a t -> 'a
+(** Allocation-free {!pop}: remove the earliest live event and return
+    its payload alone.  Pair with {!next_time_ns} for the time (the
+    simulator's hot loop does exactly that).
+    @raise Invalid_argument when no live event is pending. *)
 
 val occupancy : 'a t -> int
-(** Physical heap nodes currently held, cancelled-but-not-yet-dropped
-    included.  After every [add], [cancel] and [pop] this is at most
-    [max (2 * length t) 64]; the cancel-heavy regression test in
-    test/ asserts that bound. *)
+(** Physical nodes currently held across both tiers,
+    cancelled-but-not-yet-dropped included.  After every [add],
+    [cancel] and [pop] this is at most [max (2 * length t) 64]; the
+    cancel-heavy regression test in test/ asserts that bound. *)
 
 (** {2 Observability} *)
 
@@ -61,15 +85,21 @@ type stats = {
   adds : int;  (** events ever scheduled *)
   pops : int;  (** live events ever popped *)
   cancels : int;  (** live events ever cancelled *)
-  max_size : int;  (** high-water mark of the heap, cancelled included *)
+  max_size : int;
+      (** high-water mark of total occupancy, cancelled included *)
   dead_drops : int;
-      (** cancelled nodes dropped lazily: at the root by {!pop} /
-          {!peek_time}, or swept by a compaction pass *)
-  compactions : int;  (** whole-heap sweeps of cancelled nodes *)
+      (** cancelled nodes dropped lazily: at the heap root or during a
+          bucket scan by {!pop} / {!peek_time}, or swept by a
+          compaction pass *)
+  compactions : int;  (** whole-queue sweeps of cancelled nodes *)
   recycled : int;  (** adds served from the slot free pool *)
+  near_adds : int;  (** adds that landed in the near-horizon buckets *)
+  near_pops : int;  (** pops served from the near-horizon buckets *)
+  rebases : int;  (** times the bucket window slid to a new base *)
 }
 
 val stats : 'a t -> stats
 (** Lifetime counters (always maintained; a handful of integer writes
-    per operation).  Identities: [adds = pops + cancels + length t]
-    and [dead_drops <= cancels]. *)
+    per operation).  Identities: [adds = pops + cancels + length t],
+    [dead_drops <= cancels], [near_adds <= adds] and
+    [near_pops <= pops]. *)

@@ -1,36 +1,115 @@
-type t = { mutable state : int64 }
+(* splitmix64: passes BigCrush, one multiply-xor-shift chain per draw.
 
-(* splitmix64: passes BigCrush, one multiply-xor-shift chain per draw. *)
-let golden_gamma = 0x9E3779B97F4A7C15L
+   The 64-bit state and arithmetic are carried in two 32-bit halves
+   held in native ints.  OCaml's [Int64] is boxed (and this project
+   builds without flambda), so the obvious [Int64] formulation
+   allocates ~9 boxes per draw; the halved form allocates nothing on
+   any draw path.  The output is bit-for-bit identical to the [Int64]
+   formulation — the regression test in test/ replays both against
+   each other — which is load-bearing: every figure in the repo is
+   pinned by MD5 to the exact random streams. *)
 
-let mix z =
-  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
-  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
-  Int64.(logxor z (shift_right_logical z 31))
+let mask16 = 0xFFFF
+let mask32 = 0xFFFFFFFF
 
-let create ~seed = { state = Int64.of_int seed }
+(* golden gamma 0x9E3779B97F4A7C15 and the two mix multipliers
+   0xBF58476D1CE4E5B9 / 0x94D049BB133111EB, split into halves. *)
+let gamma_hi = 0x9E3779B9
+let gamma_lo = 0x7F4A7C15
+let m1_hi = 0xBF58476D
+let m1_lo = 0x1CE4E5B9
+let m2_hi = 0x94D049BB
+let m2_lo = 0x133111EB
+
+type t = {
+  mutable hi : int;  (* state bits 32..63 *)
+  mutable lo : int;  (* state bits 0..31 *)
+  (* Scratch for the last drawn 64 bits: OCaml cannot return an
+     unboxed pair, so draw results land here (plain int fields — no
+     write barrier, no allocation). *)
+  mutable out_hi : int;
+  mutable out_lo : int;
+}
+
+let create ~seed =
+  {
+    hi = (seed asr 32) land mask32;
+    lo = seed land mask32;
+    out_hi = 0;
+    out_lo = 0;
+  }
+
+let copy t = { hi = t.hi; lo = t.lo; out_hi = 0; out_lo = 0 }
+
+(* t.out <- low 64 bits of (zh:zl) * (mh:ml), all halves in [0, 2^32).
+   The 32x32 low product goes through 16-bit limbs (a 32x32 product
+   can reach 2^64 and native ints hold 63 bits); the cross terms only
+   need their low 32 bits, which native wrap-around multiplication
+   preserves exactly. *)
+let mul64 t zh zl mh ml =
+  let xl = zl land mask16 and xh = zl lsr 16 in
+  let yl = ml land mask16 and yh = ml lsr 16 in
+  let ll = xl * yl in
+  let mid = (xh * yl) + (xl * yh) + (ll lsr 16) in
+  t.out_lo <- ((mid land mask16) lsl 16) lor (ll land mask16);
+  t.out_hi <-
+    ((xh * yh) + (mid lsr 16) + ((zl * mh) land mask32)
+    + ((zh * ml) land mask32))
+    land mask32
+
+(* t.out <- mix (zh:zl): the splitmix64 finaliser
+   (xor-shift 30, *m1, xor-shift 27, *m2, xor-shift 31). *)
+let mix_into t zh zl =
+  let zl = zl lxor ((zl lsr 30) lor ((zh lsl 2) land mask32)) in
+  let zh = zh lxor (zh lsr 30) in
+  mul64 t zh zl m1_hi m1_lo;
+  let zh = t.out_hi and zl = t.out_lo in
+  let zl = zl lxor ((zl lsr 27) lor ((zh lsl 5) land mask32)) in
+  let zh = zh lxor (zh lsr 27) in
+  mul64 t zh zl m2_hi m2_lo;
+  let zh = t.out_hi and zl = t.out_lo in
+  t.out_lo <- zl lxor ((zl lsr 31) lor ((zh lsl 1) land mask32));
+  t.out_hi <- zh lxor (zh lsr 31)
+
+(* Advance the state by the gamma and mix the next 64 bits into
+   t.out. *)
+let next t =
+  let s = t.lo + gamma_lo in
+  let lo = s land mask32 in
+  let hi = (t.hi + gamma_hi + (s lsr 32)) land mask32 in
+  t.lo <- lo;
+  t.hi <- hi;
+  mix_into t hi lo
 
 let bits64 t =
-  t.state <- Int64.add t.state golden_gamma;
-  mix t.state
+  next t;
+  Int64.logor
+    (Int64.shift_left (Int64.of_int t.out_hi) 32)
+    (Int64.of_int t.out_lo)
 
 let split t =
-  let seed64 = bits64 t in
-  { state = mix seed64 }
-
-let copy t = { state = t.state }
+  next t;
+  let u = { hi = 0; lo = 0; out_hi = 0; out_lo = 0 } in
+  mix_into u t.out_hi t.out_lo;
+  u.hi <- u.out_hi;
+  u.lo <- u.out_lo;
+  u.out_hi <- 0;
+  u.out_lo <- 0;
+  u
 
 let int t n =
   if n <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Rejection-free for our purposes: modulo bias is < 2^-30 for any
      bound used in this simulator.  Keep 62 bits so the value fits
      OCaml's 63-bit int as a non-negative number. *)
-  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  next t;
+  let v = (t.out_hi lsl 30) lor (t.out_lo lsr 2) in
   v mod n
 
 let uniform t =
   (* 53 random bits into the mantissa: uniform on [0, 1). *)
-  let bits = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  next t;
+  let bits = (t.out_hi lsl 21) lor (t.out_lo lsr 11) in
   float_of_int bits *. 0x1p-53
 
 let float t x =
@@ -38,7 +117,9 @@ let float t x =
     invalid_arg "Rng.float: bound must be positive and finite";
   uniform t *. x
 
-let bool t = Int64.logand (bits64 t) 1L = 1L
+let bool t =
+  next t;
+  t.out_lo land 1 = 1
 
 let exponential t ~mean =
   if not (Float.is_finite mean) || mean <= 0.0 then

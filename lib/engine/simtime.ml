@@ -44,8 +44,13 @@ let span_scale d k =
   int_of_float (Float.round (float_of_int d *. k))
 
 let span_compare = Int.compare
-let span_min (a : span) b = Stdlib.min a b
-let span_max (a : span) b = Stdlib.max a b
+
+(* Written out instead of [Stdlib.min]/[Stdlib.max]: those are
+   ordinary polymorphic functions, so (without flambda) every call
+   would go through generic structural comparison — measurably hot,
+   as [min] runs per segment on the frame-loss path. *)
+let span_min (a : span) (b : span) = if a < b then a else b
+let span_max (a : span) (b : span) = if a < b then b else a
 let compare = Int.compare
 
 let ( <= ) (a : t) (b : t) = Stdlib.( <= ) a b
@@ -53,8 +58,8 @@ let ( < ) (a : t) (b : t) = Stdlib.( < ) a b
 let ( >= ) (a : t) (b : t) = Stdlib.( >= ) a b
 let ( > ) (a : t) (b : t) = Stdlib.( > ) a b
 
-let min (a : t) b = Stdlib.min a b
-let max (a : t) b = Stdlib.max a b
+let min (a : t) (b : t) = if a < b then a else b
+let max (a : t) (b : t) = if a < b then b else a
 
 let pp ppf t = Format.fprintf ppf "%.3fs" (to_sec t)
 let pp_span ppf d = Format.fprintf ppf "%.3fs" (span_to_sec d)

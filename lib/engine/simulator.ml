@@ -36,6 +36,8 @@ let () =
 
 type event = Event_queue.handle
 
+let null_event = Event_queue.null
+
 let create ?(seed = 1) () =
   {
     clock = Simtime.zero;
@@ -82,18 +84,24 @@ let run_invariants t =
   Array.iter (fun f -> f ()) checks
 
 let step t =
-  match Event_queue.pop t.queue with
-  | None -> false
-  | Some (time, f) ->
+  (* Unboxed pop: [next_time_ns] settles the queue's next-event cache,
+     so the [take_exn] right after it is a cache hit — no [Some (time,
+     value)] pair is ever allocated on this path. *)
+  let tn = Event_queue.next_time_ns t.queue in
+  if tn = min_int then false
+  else begin
+    let time = Simtime.of_ns tn in
     if t.checked && Simtime.(time < t.clock) then
       Obs.Invariant.fail ~name:"engine.time_monotonic"
-        (Printf.sprintf "event at %dns before clock %dns" (Simtime.to_ns time)
+        (Printf.sprintf "event at %dns before clock %dns" tn
            (Simtime.to_ns t.clock));
+    let f = Event_queue.take_exn t.queue in
     t.clock <- time;
     f ();
     t.executed_total <- t.executed_total + 1;
     if t.checked then run_invariants t;
     true
+  end
 
 let add_finalizer t f = t.finalizers_rev <- f :: t.finalizers_rev
 
@@ -113,10 +121,9 @@ let run ?until ?max_events t =
   let within_horizon () =
     match until with
     | None -> true
-    | Some horizon -> (
-      match Event_queue.peek_time t.queue with
-      | None -> false
-      | Some next -> Simtime.(next <= horizon))
+    | Some horizon ->
+      let next = Event_queue.next_time_ns t.queue in
+      next <> min_int && next <= Simtime.to_ns horizon
   in
   (try
      while
@@ -148,9 +155,8 @@ let run ?until ?max_events t =
   match until with
   | Some horizon when Simtime.(t.clock < horizon) && not t.stopping ->
     if
-      match Event_queue.peek_time t.queue with
-      | None -> true
-      | Some next -> Simtime.(next > horizon)
+      let next = Event_queue.next_time_ns t.queue in
+      next = min_int || next > Simtime.to_ns horizon
     then t.clock <- horizon
   | _ -> ()
 

@@ -12,6 +12,11 @@ type t
 type event
 (** A scheduled-event handle, used for cancellation. *)
 
+val null_event : event
+(** A handle no event ever carries: {!cancel} on it is a no-op,
+    {!is_pending} is [false].  Lets components keep a plain [event]
+    field (no [option] box) for "nothing scheduled". *)
+
 val create : ?seed:int -> unit -> t
 (** [create ~seed ()] is a fresh simulator with clock at
     {!Simtime.zero}.  Default seed is 1. *)

@@ -4,13 +4,40 @@ type t = {
   description : string;
   segments_fn :
     start:Simtime.t -> stop:Simtime.t -> (Channel_state.t * Simtime.span) list;
+  weighted_fn :
+    start:Simtime.t -> stop:Simtime.t -> good:float -> bad:float -> float;
 }
 
-let make ~description ~segments = { description; segments_fn = segments }
+(* Fallback weighted query: fold the segment list with the same
+   per-segment float operations (and the same order) as the direct
+   implementations, so a channel built without [~weighted] computes
+   bit-identical sums. *)
+let fold_weighted segments_fn ~start ~stop ~good ~bad =
+  if Simtime.(stop <= start) then 0.0
+  else
+    List.fold_left
+      (fun acc (state, span) ->
+        let rate =
+          match state with Channel_state.Good -> good | Channel_state.Bad -> bad
+        in
+        acc +. (rate *. Simtime.span_to_sec span))
+      0.0
+      (segments_fn ~start ~stop)
+
+let make ?weighted ~description ~segments () =
+  let weighted_fn =
+    match weighted with Some f -> f | None -> fold_weighted segments
+  in
+  { description; segments_fn = segments; weighted_fn }
+
 let description t = t.description
 
 let segments t ~start ~stop =
   if Simtime.(stop <= start) then [] else t.segments_fn ~start ~stop
+
+let weighted_seconds t ~start ~stop ~good ~bad =
+  if Simtime.(stop <= start) then 0.0
+  else t.weighted_fn ~start ~stop ~good ~bad
 
 let state_at t at =
   match

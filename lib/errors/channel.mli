@@ -10,15 +10,29 @@ type t
 (** A channel state process. *)
 
 val make :
+  ?weighted:
+    (start:Sim_engine.Simtime.t ->
+    stop:Sim_engine.Simtime.t ->
+    good:float ->
+    bad:float ->
+    float) ->
   description:string ->
   segments:
     (start:Sim_engine.Simtime.t ->
     stop:Sim_engine.Simtime.t ->
     (Channel_state.t * Sim_engine.Simtime.span) list) ->
+  unit ->
   t
 (** Build a channel from a segment query.  [segments ~start ~stop]
     must return the channel states covering [[start, stop)] in order,
-    with durations summing to [stop - start]. *)
+    with durations summing to [stop - start].
+
+    [weighted], when given, serves {!weighted_seconds} directly;
+    implementations backed by a materialised timeline supply an
+    allocation-free walk (see
+    {!State_timeline.weighted_seconds}).  When omitted, it is derived
+    by folding [segments] — producing bit-identical sums, just
+    slower. *)
 
 val description : t -> string
 (** Human-readable description (for reports). *)
@@ -30,6 +44,19 @@ val segments :
   (Channel_state.t * Sim_engine.Simtime.span) list
 (** States covering [[start, stop)], in order, durations summing to
     [stop - start].  Returns [[]] if [stop <= start]. *)
+
+val weighted_seconds :
+  t ->
+  start:Sim_engine.Simtime.t ->
+  stop:Sim_engine.Simtime.t ->
+  good:float ->
+  bad:float ->
+  float
+(** Per-state rate weighted by seconds spent in that state over
+    [[start, stop)]: [good *. sec(Good) +. bad *. sec(Bad)], summed
+    segment by segment.  Returns [0.] if [stop <= start].  This is the
+    frame-loss hot path — timeline-backed channels serve it without
+    allocating. *)
 
 val state_at : t -> Sim_engine.Simtime.t -> Channel_state.t
 (** The state at a single instant. *)

@@ -19,10 +19,26 @@ let expected_errors ber ~bits_per_sec ~segments =
 
 let loss_probability ~expected = 1.0 -. exp (-.expected)
 
-let frame_lost decision ber ~bits_per_sec ~segments =
-  let expected = expected_errors ber ~bits_per_sec ~segments in
+let decide decision expected =
   match decision with
   | Threshold -> expected >= 1.0
   | Stochastic rng ->
     let p = loss_probability ~expected in
     p > 0.0 && Rng.uniform rng < p
+
+let frame_lost decision ber ~bits_per_sec ~segments =
+  decide decision (expected_errors ber ~bits_per_sec ~segments)
+
+(* Channel-direct variants: same sums as the segment-list versions —
+   [rate *. bits_per_sec] is hoisted, and float multiplication
+   associates identically — but without materialising the list.  The
+   decision (including whether the RNG is consulted at all) is
+   byte-for-byte the same, which the batched-vs-per-frame equivalence
+   test in test/ pins down. *)
+let expected_errors_in ber ~bits_per_sec ~channel ~start ~stop =
+  Channel.weighted_seconds channel ~start ~stop
+    ~good:(ber.good *. bits_per_sec)
+    ~bad:(ber.bad *. bits_per_sec)
+
+let frame_lost_in decision ber ~bits_per_sec ~channel ~start ~stop =
+  decide decision (expected_errors_in ber ~bits_per_sec ~channel ~start ~stop)

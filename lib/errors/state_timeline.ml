@@ -35,8 +35,15 @@ let extend_until t stop =
     append t (Simtime.add (period_start t t.count) d)
   done
 
-(* First period index whose end time is strictly after [at]. *)
+(* First period index whose end time is strictly after [at].  The
+   guards matter: with [count = 0] the search degenerates ([hi = -1],
+   loop never entered) and would read stale [ends.(0)]; past the
+   horizon it would silently return the last index as if [at] fell
+   inside it. *)
 let index_at t at =
+  if t.count = 0 then invalid_arg "State_timeline.index_at: empty timeline";
+  if Simtime.(at >= t.ends.(t.count - 1)) then
+    invalid_arg "State_timeline.index_at: time beyond materialised horizon";
   let lo = ref 0 and hi = ref (t.count - 1) in
   while !lo < !hi do
     let mid = (!lo + !hi) / 2 in
@@ -56,6 +63,31 @@ let segments t ~start ~stop =
         collect (i + 1) finish (piece :: acc)
     in
     collect (index_at t start) start []
+  end
+
+(* Allocation-free fold of [segments]: per-state rate weighted by
+   seconds spent in that state over [[start, stop)).  The frame-loss
+   hot path (one call per frame) uses this instead of materialising a
+   segment list it would immediately fold away. *)
+let weighted_seconds t ~start ~stop ~good ~bad =
+  if Simtime.(stop <= start) then 0.0
+  else begin
+    extend_until t stop;
+    let acc = ref 0.0 in
+    let i = ref (index_at t start) in
+    let cursor = ref start in
+    while Simtime.(!cursor < stop) do
+      let finish = Simtime.min t.ends.(!i) stop in
+      let rate =
+        match state_of_index t !i with
+        | Channel_state.Good -> good
+        | Channel_state.Bad -> bad
+      in
+      acc := !acc +. (rate *. Simtime.span_to_sec (Simtime.diff finish !cursor));
+      cursor := finish;
+      incr i
+    done;
+    !acc
   end
 
 let periods_materialised t = t.count

@@ -27,5 +27,27 @@ val segments :
     [stop - start].  Adjacent periods in the same state are not
     merged. *)
 
+val index_at : t -> Sim_engine.Simtime.t -> int
+(** Index of the materialised period containing the given time.
+    @raise Invalid_argument if no period has been materialised yet, or
+    if the time lies at or beyond the end of the last materialised
+    period — extend the timeline first (e.g. via {!segments} or
+    {!weighted_seconds} with a covering range). *)
+
+val weighted_seconds :
+  t ->
+  start:Sim_engine.Simtime.t ->
+  stop:Sim_engine.Simtime.t ->
+  good:float ->
+  bad:float ->
+  float
+(** [weighted_seconds t ~start ~stop ~good ~bad] is
+    [good *. (seconds spent Good) +. bad *. (seconds spent Bad)] over
+    [[start, stop)], materialising periods as needed.  Equivalent to
+    folding {!segments} with per-state rates, without building the
+    list; the per-frame loss probability uses it as
+    [rate * seconds = expected bit errors] with [good]/[bad] set to
+    [BER * bits_per_sec]. *)
+
 val periods_materialised : t -> int
 (** How many periods have been generated so far (for tests). *)

@@ -51,4 +51,4 @@ let create ?(continuation = Cycle) periods =
   Channel.make
     ~description:(Printf.sprintf "trace (%d periods, %s)" n
        (match continuation with Cycle -> "cyclic" | Hold -> "hold"))
-    ~segments
+    ~segments ()

@@ -4,8 +4,10 @@ let always state =
   let description =
     Format.asprintf "uniform state=%a" Channel_state.pp state
   in
-  Channel.make ~description ~segments:(fun ~start ~stop ->
+  Channel.make ~description
+    ~segments:(fun ~start ~stop ->
       if Simtime.(stop <= start) then []
       else [ (state, Simtime.diff stop start) ])
+    ()
 
 let perfect () = always Channel_state.Good

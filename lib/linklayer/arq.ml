@@ -33,11 +33,15 @@ type stats = {
   crash_dropped : int;
 }
 
+(* What the entry's (single) timer means when it fires. *)
+type timer_kind = Ack_wait | Backoff_wait
+
 type entry = {
   frame : Frame.t;
   conn : int;
   mutable attempts : int;  (* transmissions performed so far *)
-  mutable timer : Simulator.event option;  (* ack timeout or backoff *)
+  timer : Soft_timer.t;  (* ack timeout or backoff, per timer_kind *)
+  mutable timer_kind : timer_kind;
   mutable in_link : bool;  (* handed to the link, not yet serialised *)
   mutable acked : bool;  (* link ack arrived while still in the link *)
 }
@@ -47,8 +51,19 @@ type t = {
   rng : Rng.t;
   cfg : config;
   link : Wireless_link.t;
+  ack_span : Simtime.span;
+      (* acknowledgement timeout, fixed per link: ack airtime + both
+         propagation delays + margin (precomputed — the old per-arm
+         computation allocated a throwaway ack frame on every
+         serialisation) *)
   waiting : entry Sched.t;
-  inflight : (int, entry) Hashtbl.t;  (* keyed by frame seq *)
+  (* In-flight entries, at most [cfg.window] of them: a linear array
+     beats a hashtable at window sizes (≤ a few dozen) — no generic
+     hashing per lookup, no bucket allocation per insert.  Slots
+     beyond [inflight_len] hold [dummy_entry]. *)
+  mutable inflight : entry array;
+  mutable inflight_len : int;
+  dummy_entry : entry;
   mutable slots_held : int;  (* window slots in use *)
   mutable next_seq : int;
   mutable on_attempt_failure : (Frame.t -> attempt:int -> unit) option;
@@ -63,10 +78,48 @@ type t = {
   mutable deferred_pending : int;  (* backoff-deferred frames awaiting requeue *)
   mutable crashes : int;
   mutable crash_dropped : int;
+  timer_counters : Soft_timer.counters;  (* aggregated over all entry timers *)
   obs_comp : string;
   mutable obs_trace : Obs.Trace.t;
   mutable attempts_hist : Obs.Registry.histogram;
 }
+
+(* Inflight-set primitives (linear over at most [cfg.window] slots). *)
+
+(* Returns [t.dummy_entry] (compare with [==]) when [seq] is not in
+   flight; the dummy's seq is -1 so it never matches a real frame. *)
+let inflight_find t seq =
+  let n = t.inflight_len in
+  let rec go i =
+    if i >= n then t.dummy_entry
+    else if t.inflight.(i).frame.Frame.seq = seq then t.inflight.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let inflight_add t entry =
+  if t.inflight_len = Array.length t.inflight then begin
+    let bigger =
+      Array.make (2 * Stdlib.max 1 t.inflight_len) t.dummy_entry
+    in
+    Array.blit t.inflight 0 bigger 0 t.inflight_len;
+    t.inflight <- bigger
+  end;
+  t.inflight.(t.inflight_len) <- entry;
+  t.inflight_len <- t.inflight_len + 1
+
+let inflight_remove t seq =
+  let n = t.inflight_len in
+  let rec go i =
+    if i < n then
+      if t.inflight.(i).frame.Frame.seq = seq then begin
+        t.inflight.(i) <- t.inflight.(n - 1);
+        t.inflight.(n - 1) <- t.dummy_entry;
+        t.inflight_len <- n - 1
+      end
+      else go (i + 1)
+  in
+  go 0
 
 let trace_emit t ~ev fields =
   Obs.Trace.emit t.obs_trace
@@ -77,21 +130,14 @@ let trace_emit t ~ev fields =
    propagation back — plus the configured margin for queueing behind
    reverse-direction traffic.  The frame's own airtime is excluded
    because the timer starts when the frame leaves the transmitter. *)
-let ack_timeout t =
+let compute_ack_span ~link ~margin =
   let ack_frame = Frame.{ seq = 0; payload = Link_ack { acked_seq = 0 } } in
-  let cfg = Wireless_link.config t.link in
+  let cfg = Wireless_link.config link in
   Simtime.span_add
-    (Wireless_link.air_time t.link ack_frame)
+    (Wireless_link.air_time link ack_frame)
     (Simtime.span_add
        (Simtime.span_add cfg.Wireless_link.delay cfg.Wireless_link.delay)
-       t.cfg.ack_timeout_margin)
-
-let cancel_timer t entry =
-  match entry.timer with
-  | None -> ()
-  | Some ev ->
-    Simulator.cancel t.sim ev;
-    entry.timer <- None
+       margin)
 
 let transmit t entry =
   entry.attempts <- entry.attempts + 1;
@@ -108,9 +154,9 @@ let transmit t entry =
 
 (* Fired by the link when one of our frames finishes serialising. *)
 let rec frame_serialised t frame =
-  if not (Frame.is_ack frame) then
-    match Hashtbl.find_opt t.inflight frame.Frame.seq with
-    | Some entry when entry.in_link ->
+  if not (Frame.is_ack frame) then begin
+    let entry = inflight_find t frame.Frame.seq in
+    if entry != t.dummy_entry && entry.in_link then begin
       entry.in_link <- false;
       if entry.acked then begin
         (* The link ack overtook our serialisation event; the deferred
@@ -119,16 +165,13 @@ let rec frame_serialised t frame =
         complete_entry t entry
       end
       else begin
-        cancel_timer t entry;
-        entry.timer <-
-          Some
-            (Simulator.schedule_after t.sim ~delay:(ack_timeout t) (fun () ->
-                 on_ack_timeout t entry))
+        entry.timer_kind <- Ack_wait;
+        Soft_timer.arm_after entry.timer ~delay:t.ack_span
       end
-    | Some _ | None -> ()
+    end
+  end
 
 and on_ack_timeout t entry =
-  entry.timer <- None;
   t.attempt_failures <- t.attempt_failures + 1;
   if Obs.Trace.enabled t.obs_trace then
     trace_emit t ~ev:"attempt_failure"
@@ -157,7 +200,7 @@ and on_ack_timeout t entry =
          requeue closure is epoch-guarded: a crash while the frame is
          deferred counts it as dropped, and the late requeue must not
          resurrect it. *)
-      Hashtbl.remove t.inflight entry.frame.Frame.seq;
+      inflight_remove t entry.frame.Frame.seq;
       t.slots_held <- t.slots_held - 1;
       t.deferred_pending <- t.deferred_pending + 1;
       let epoch = t.epoch in
@@ -170,17 +213,24 @@ and on_ack_timeout t entry =
              end));
       pump t
     end
-    else
-      entry.timer <-
-        Some
-          (Simulator.schedule_after t.sim ~delay (fun () ->
-               entry.timer <- None;
-               transmit t entry))
+    else begin
+      entry.timer_kind <- Backoff_wait;
+      Soft_timer.arm_after entry.timer ~delay
+    end
   end
 
+and on_entry_timer t entry =
+  match entry.timer_kind with
+  | Ack_wait -> on_ack_timeout t entry
+  | Backoff_wait -> transmit t entry
+
 and release t entry =
-  cancel_timer t entry;
-  Hashtbl.remove t.inflight entry.frame.Frame.seq;
+  (* Detach rather than lazy-cancel: a released entry is never re-armed,
+     so leaving its physical event behind would execute a stale no-op
+     per frame.  Detach is O(1) too — the queue's own deletion is
+     lazy. *)
+  Soft_timer.detach entry.timer;
+  inflight_remove t entry.frame.Frame.seq;
   t.slots_held <- t.slots_held - 1;
   pump t
 
@@ -202,21 +252,36 @@ and pump t =
     | None -> ()
     | Some (_conn, entry) ->
       t.slots_held <- t.slots_held + 1;
-      Hashtbl.replace t.inflight entry.frame.Frame.seq entry;
+      inflight_add t entry;
       transmit t entry;
       pump t
 
 let create sim ~rng ~config ~link =
   if config.rt_max < 0 then invalid_arg "Arq.create: negative rt_max";
   if config.window < 1 then invalid_arg "Arq.create: window < 1";
+  let timer_counters = Soft_timer.create_counters () in
+  let dummy_entry =
+    {
+      frame = Frame.{ seq = -1; payload = Link_ack { acked_seq = -1 } };
+      conn = -1;
+      attempts = 0;
+      timer = Soft_timer.create sim ~counters:timer_counters ignore;
+      timer_kind = Ack_wait;
+      in_link = false;
+      acked = false;
+    }
+  in
   let t =
     {
       sim;
       rng;
       cfg = config;
       link;
+      ack_span = compute_ack_span ~link ~margin:config.ack_timeout_margin;
       waiting = Sched.create config.scheduler ~capacity:config.queue_capacity;
-      inflight = Hashtbl.create 16;
+      inflight = Array.make config.window dummy_entry;
+      inflight_len = 0;
+      dummy_entry;
       slots_held = 0;
       next_seq = 0;
       on_attempt_failure = None;
@@ -231,6 +296,7 @@ let create sim ~rng ~config ~link =
       deferred_pending = 0;
       crashes = 0;
       crash_dropped = 0;
+      timer_counters;
       obs_comp = "arq:" ^ Wireless_link.name link;
       obs_trace = Obs.Trace.disabled;
       attempts_hist = Obs.Registry.histogram Obs.Registry.disabled "arq.attempts";
@@ -245,8 +311,17 @@ let set_on_discard t f = t.on_discard <- Some f
 let send t ~conn payload =
   let frame = Frame.{ seq = t.next_seq; payload } in
   let entry =
-    { frame; conn; attempts = 0; timer = None; in_link = false; acked = false }
+    {
+      frame;
+      conn;
+      attempts = 0;
+      timer = Soft_timer.create t.sim ~counters:t.timer_counters ignore;
+      timer_kind = Ack_wait;
+      in_link = false;
+      acked = false;
+    }
   in
+  Soft_timer.set_callback entry.timer (fun () -> on_entry_timer t entry);
   let accepted = Sched.push t.waiting ~conn entry in
   if accepted then begin
     t.next_seq <- t.next_seq + 1;
@@ -255,8 +330,9 @@ let send t ~conn payload =
   accepted
 
 let handle_link_ack t ~acked_seq =
-  match Hashtbl.find_opt t.inflight acked_seq with
-  | Some entry when entry.in_link ->
+  let entry = inflight_find t acked_seq in
+  if entry == t.dummy_entry then t.spurious_acks <- t.spurious_acks + 1
+  else if entry.in_link then begin
     (* The ack raced our own serialisation event (zero-delay links, or
        an ack for a previous attempt of the same frame).  Releasing
        here would desynchronise [slots_held] from the link's pending
@@ -264,8 +340,8 @@ let handle_link_ack t ~acked_seq =
        leaves the transmitter.  A second early ack is spurious. *)
     if entry.acked then t.spurious_acks <- t.spurious_acks + 1
     else entry.acked <- true
-  | Some entry -> complete_entry t entry
-  | None -> t.spurious_acks <- t.spurious_acks + 1
+  end
+  else complete_entry t entry
 
 (* Crash/reboot: all link-layer transmission state vanishes.  Pending
    attempts are abandoned (their timers cancelled), waiting frames and
@@ -275,9 +351,15 @@ let handle_link_ack t ~acked_seq =
    after a reboot would alias live frames.  Returns how many frames
    were lost with the state. *)
 let crash t =
-  Hashtbl.iter (fun _ entry -> cancel_timer t entry) t.inflight;
-  let in_flight = Hashtbl.length t.inflight in
-  Hashtbl.reset t.inflight;
+  (* Eager teardown (detach, not lazy cancel): a crash must leave
+     nothing of this ARQ pending in the queue — tests assert the
+     simulator can go fully quiet afterwards. *)
+  for i = 0 to t.inflight_len - 1 do
+    Soft_timer.detach t.inflight.(i).timer;
+    t.inflight.(i) <- t.dummy_entry
+  done;
+  let in_flight = t.inflight_len in
+  t.inflight_len <- 0;
   t.slots_held <- 0;
   let waiting = Sched.clear t.waiting in
   let deferred = t.deferred_pending in
@@ -295,8 +377,9 @@ let crash t =
       ];
   dropped
 
-let idle t = Hashtbl.length t.inflight = 0 && Sched.is_empty t.waiting
-let in_flight t = Hashtbl.length t.inflight
+let idle t = t.inflight_len = 0 && Sched.is_empty t.waiting
+let timer_counters t = t.timer_counters
+let in_flight t = t.inflight_len
 let backlog t = Sched.length t.waiting
 
 let set_obs t ~trace ~metrics =
@@ -310,11 +393,10 @@ let check_invariants t =
       Printf.sprintf "%s: slots_held=%d window=%d" t.obs_comp t.slots_held
         t.cfg.window);
   Obs.Invariant.require ~name:"arq.inflight_consistent"
-    (t.slots_held = Hashtbl.length t.inflight)
+    (t.slots_held = t.inflight_len)
     ~detail:(fun () ->
       Printf.sprintf "%s: slots_held=%d but %d entries in flight" t.obs_comp
-        t.slots_held
-        (Hashtbl.length t.inflight))
+        t.slots_held t.inflight_len)
 
 let stats t =
   {

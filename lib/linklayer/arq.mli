@@ -111,6 +111,11 @@ val backlog : t -> int
 
 val stats : t -> stats
 
+val timer_counters : t -> Sim_engine.Soft_timer.counters
+(** Operation counters aggregated over every entry timer this sender
+    ever created (ack waits and retry backoffs): arms, fused restarts,
+    lazy cancels, fires, stale fires, deadline chases. *)
+
 (** {2 Observability} *)
 
 val set_obs : t -> trace:Obs.Trace.t -> metrics:Obs.Registry.t -> unit

@@ -17,7 +17,11 @@ type t = {
   on_link_ack : (acked_seq:int -> unit) option;
   resequence : resequence option;
   dedup : bool;
-  seen : (int, unit) Hashtbl.t;  (* dedup-only mode *)
+  (* Link sequence numbers are dense from 0, so the dedup set is a
+     growable bitset (32 bits per word): membership and insertion are
+     O(1) word ops where a hashtable hashed the key and allocated a
+     bucket cell per frame received. *)
+  mutable seen : int array;
   deliver : Frame.payload -> unit;
   buffer : (int, Frame.payload) Hashtbl.t;  (* out-of-order frames *)
   mutable expected : int;  (* next link seq to deliver *)
@@ -38,7 +42,7 @@ let create sim ?send_ack ?on_link_ack ?resequence ?(dedup = false) ~deliver
     on_link_ack;
     resequence;
     dedup;
-    seen = Hashtbl.create 32;
+    seen = Array.make 8 0;
     deliver;
     buffer = Hashtbl.create 32;
     expected = 0;
@@ -50,6 +54,21 @@ let create sim ?send_ack ?on_link_ack ?resequence ?(dedup = false) ~deliver
     hole_count = 0;
     straggler_count = 0;
   }
+
+let seen_mem t seq =
+  let w = seq lsr 5 in
+  w < Array.length t.seen
+  && t.seen.(w) land (1 lsl (seq land 31)) <> 0
+
+let seen_add t seq =
+  let w = seq lsr 5 in
+  let n = Array.length t.seen in
+  if w >= n then begin
+    let grown = Array.make (Stdlib.max (w + 1) (2 * n)) 0 in
+    Array.blit t.seen 0 grown 0 n;
+    t.seen <- grown
+  end;
+  t.seen.(w) <- t.seen.(w) lor (1 lsl (seq land 31))
 
 let cancel_hole_timer t =
   match t.hole_timer with
@@ -99,19 +118,19 @@ let receive_in_order t frame =
        (shared-radio mode, where the ARQ sequence space spans several
        receivers and cannot be resequenced per receiver). *)
     if t.dedup then begin
-      if Hashtbl.mem t.seen frame.Frame.seq then
+      if seen_mem t frame.Frame.seq then
         t.duplicate_count <- t.duplicate_count + 1
       else begin
-        Hashtbl.replace t.seen frame.Frame.seq ();
+        seen_add t frame.Frame.seq;
         t.deliver frame.Frame.payload
       end
     end
     else t.deliver frame.Frame.payload
   | Some timeout ->
     let seq = frame.Frame.seq in
-    if Hashtbl.mem t.seen seq then t.duplicate_count <- t.duplicate_count + 1
+    if seen_mem t seq then t.duplicate_count <- t.duplicate_count + 1
     else begin
-      Hashtbl.replace t.seen seq ();
+      seen_add t seq;
       if seq = t.expected then begin
         t.expected <- t.expected + 1;
         t.deliver frame.Frame.payload;

@@ -29,12 +29,27 @@ type t = {
   sim : Simulator.t;
   link_name : string;
   cfg : config;
+  bits_per_sec : float;  (* bandwidth as a float, hoisted off the hot path *)
   channel_for : Frame.t -> Error_model.Channel.t;
   queue : Frame.t Queue_drop_tail.t;
   mutable receiver : (Frame.t -> unit) option;
   mutable monitor : (monitor_event -> unit) option;
   mutable on_frame_sent : (Frame.t -> unit) option;
   mutable transmitting : bool;
+  (* State of the one transmission on the air.  Only a single frame
+     serialises at a time, so [finish_fn] is a single preallocated
+     closure reading these fields instead of a fresh closure capturing
+     them per frame. *)
+  mutable tx_frame : Frame.t;
+  mutable tx_start : Simtime.t;
+  mutable tx_air_bytes : int;
+  mutable tx_airtime : Simtime.span;
+  mutable finish_fn : unit -> unit;
+  (* Frames in propagation.  The delay is constant and serialisation
+     end times strictly increase, so deliveries happen in FIFO order:
+     one shared closure pops the oldest frame. *)
+  prop_frames : Frame.t Queue.t;
+  mutable prop_fn : unit -> unit;
   mutable frames_sent : int;
   mutable air_bytes_total : int;
   mutable frames_lost : int;
@@ -46,29 +61,7 @@ type t = {
   mutable frames_blackholed : int;
 }
 
-let create sim ~name ~config ~channel_for ~queue_capacity =
-  if config.overhead_factor < 1.0 then
-    invalid_arg "Wireless_link.create: overhead factor below 1";
-  {
-    sim;
-    link_name = name;
-    cfg = config;
-    channel_for;
-    queue = Queue_drop_tail.create ~capacity:queue_capacity ();
-    receiver = None;
-    monitor = None;
-    on_frame_sent = None;
-    transmitting = false;
-    frames_sent = 0;
-    air_bytes_total = 0;
-    frames_lost = 0;
-    frames_delivered = 0;
-    accepted = 0;
-    in_propagation = 0;
-    obs_trace = Obs.Trace.disabled;
-    blackout = false;
-    frames_blackholed = 0;
-  }
+let dummy_frame = Frame.{ seq = -1; payload = Link_ack { acked_seq = -1 } }
 
 let set_receiver t f = t.receiver <- Some f
 let set_monitor t f = t.monitor <- Some f
@@ -100,59 +93,101 @@ let deliver t frame =
     notify t (Delivered frame);
     f frame
 
+let propagated t =
+  t.in_propagation <- t.in_propagation - 1;
+  deliver t (Queue.pop t.prop_frames)
+
 let rec transmit t frame =
   t.transmitting <- true;
   if Obs.Trace.enabled t.obs_trace then trace_emit t ~ev:"tx_start" frame;
   notify t (Tx_start frame);
-  let start = Simulator.now t.sim in
-  let airtime = air_time t frame in
-  let finish () =
-    let air = air_bytes_of t frame in
-    t.frames_sent <- t.frames_sent + 1;
-    t.air_bytes_total <- t.air_bytes_total + air;
-    (* A disconnection blackout swallows the frame without consulting
-       the channel: its Gilbert–Elliott timeline (and thus its random
-       stream) advances lazily on the next query, so a blackout window
-       leaves all channel randomness untouched. *)
-    let blackholed = t.blackout in
-    let lost =
-      (not blackholed)
-      &&
-      let channel = t.channel_for frame in
-      let segments =
-        Error_model.Channel.segments channel ~start
-          ~stop:(Simtime.add start airtime)
-      in
-      let bits_per_sec =
-        float_of_int (Units.bandwidth_to_bps t.cfg.bandwidth)
-      in
-      Error_model.Loss.frame_lost t.cfg.decision t.cfg.ber ~bits_per_sec
-        ~segments
-    in
-    (match t.on_frame_sent with Some f -> f frame | None -> ());
-    if blackholed then begin
-      t.frames_blackholed <- t.frames_blackholed + 1;
-      if Obs.Trace.enabled t.obs_trace then
-        trace_emit t ~ev:"blackholed" frame;
-      notify t (Lost frame)
-    end
-    else if lost then begin
-      t.frames_lost <- t.frames_lost + 1;
-      if Obs.Trace.enabled t.obs_trace then trace_emit t ~ev:"lost" frame;
-      notify t (Lost frame)
-    end
-    else begin
-      t.in_propagation <- t.in_propagation + 1;
-      ignore
-        (Simulator.schedule_after t.sim ~delay:t.cfg.delay (fun () ->
-             t.in_propagation <- t.in_propagation - 1;
-             deliver t frame))
-    end;
-    match Queue_drop_tail.dequeue t.queue with
-    | Some next -> transmit t next
-    | None -> t.transmitting <- false
+  let air = air_bytes_of t frame in
+  t.tx_frame <- frame;
+  t.tx_start <- Simulator.now t.sim;
+  t.tx_air_bytes <- air;
+  t.tx_airtime <-
+    Units.tx_time ~bits:(Units.bits_of_bytes air) t.cfg.bandwidth;
+  ignore (Simulator.schedule_after t.sim ~delay:t.tx_airtime t.finish_fn)
+
+and finish t =
+  let frame = t.tx_frame in
+  let start = t.tx_start in
+  t.frames_sent <- t.frames_sent + 1;
+  t.air_bytes_total <- t.air_bytes_total + t.tx_air_bytes;
+  (* A disconnection blackout swallows the frame without consulting
+     the channel: its Gilbert–Elliott timeline (and thus its random
+     stream) advances lazily on the next query, so a blackout window
+     leaves all channel randomness untouched. *)
+  let blackholed = t.blackout in
+  let lost =
+    (not blackholed)
+    &&
+    let channel = t.channel_for frame in
+    (* Channel-direct query: same expected-error sum and RNG
+       consumption as folding [Channel.segments], without building
+       the per-frame segment list. *)
+    Error_model.Loss.frame_lost_in t.cfg.decision t.cfg.ber
+      ~bits_per_sec:t.bits_per_sec ~channel ~start
+      ~stop:(Simtime.add start t.tx_airtime)
   in
-  ignore (Simulator.schedule_after t.sim ~delay:airtime finish)
+  (match t.on_frame_sent with Some f -> f frame | None -> ());
+  if blackholed then begin
+    t.frames_blackholed <- t.frames_blackholed + 1;
+    if Obs.Trace.enabled t.obs_trace then trace_emit t ~ev:"blackholed" frame;
+    notify t (Lost frame)
+  end
+  else if lost then begin
+    t.frames_lost <- t.frames_lost + 1;
+    if Obs.Trace.enabled t.obs_trace then trace_emit t ~ev:"lost" frame;
+    notify t (Lost frame)
+  end
+  else begin
+    t.in_propagation <- t.in_propagation + 1;
+    Queue.push frame t.prop_frames;
+    ignore (Simulator.schedule_after t.sim ~delay:t.cfg.delay t.prop_fn)
+  end;
+  match Queue_drop_tail.dequeue t.queue with
+  | Some next -> transmit t next
+  | None -> t.transmitting <- false
+
+(* Defined after the [transmit]/[finish] chain so the two shared
+   closures can be bound exactly once per link. *)
+let create sim ~name ~config ~channel_for ~queue_capacity =
+  if config.overhead_factor < 1.0 then
+    invalid_arg "Wireless_link.create: overhead factor below 1";
+  let t =
+    {
+      sim;
+      link_name = name;
+      cfg = config;
+      bits_per_sec = float_of_int (Units.bandwidth_to_bps config.bandwidth);
+      channel_for;
+      queue = Queue_drop_tail.create ~capacity:queue_capacity ();
+      receiver = None;
+      monitor = None;
+      on_frame_sent = None;
+      transmitting = false;
+      tx_frame = dummy_frame;
+      tx_start = Simtime.zero;
+      tx_air_bytes = 0;
+      tx_airtime = Simtime.span_zero;
+      finish_fn = ignore;
+      prop_frames = Queue.create ();
+      prop_fn = ignore;
+      frames_sent = 0;
+      air_bytes_total = 0;
+      frames_lost = 0;
+      frames_delivered = 0;
+      accepted = 0;
+      in_propagation = 0;
+      obs_trace = Obs.Trace.disabled;
+      blackout = false;
+      frames_blackholed = 0;
+    }
+  in
+  t.finish_fn <- (fun () -> finish t);
+  t.prop_fn <- (fun () -> propagated t);
+  t
 
 let send t frame =
   (match t.receiver with

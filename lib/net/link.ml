@@ -22,25 +22,24 @@ type t = {
   mutable receiver : (Packet.t -> unit) option;
   mutable monitor : (monitor_event -> unit) option;
   mutable transmitting : bool;
+  (* The one packet currently serialising, plus a single preallocated
+     finish closure reading it — only one transmission is on the wire
+     at a time, so a fresh closure per packet is pure allocation. *)
+  mutable tx_current : Packet.t;  (* [dummy_packet] when idle *)
+  mutable finish_fn : unit -> unit;
+  (* Packets in propagation.  Constant delay and strictly increasing
+     serialisation end times mean FIFO delivery: one shared closure
+     pops the oldest. *)
+  prop_packets : Packet.t Queue.t;
+  mutable prop_fn : unit -> unit;
   mutable tx_packets : int;
   mutable tx_bytes : int;
   mutable delivered : int;
 }
 
-let create sim ~name ~bandwidth ~delay ~queue_capacity =
-  {
-    sim;
-    link_name = name;
-    link_bandwidth = bandwidth;
-    link_delay = delay;
-    queue = Queue_drop_tail.create ~capacity:queue_capacity ();
-    receiver = None;
-    monitor = None;
-    transmitting = false;
-    tx_packets = 0;
-    tx_bytes = 0;
-    delivered = 0;
-  }
+let dummy_packet =
+  Packet.create ~id:0 ~src:(Address.make 0) ~dst:(Address.make 0)
+    ~kind:(Packet.Ebsn { conn = 0 }) ~header_bytes:0 ~created:Simtime.zero
 
 let set_receiver t f = t.receiver <- Some f
 let set_monitor t f = t.monitor <- Some f
@@ -56,22 +55,52 @@ let deliver t pkt =
     notify t (Delivered pkt);
     f pkt
 
+let propagated t = deliver t (Queue.pop t.prop_packets)
+
 let rec transmit t pkt =
   t.transmitting <- true;
   notify t (Tx_start pkt);
   let bits = Units.bits_of_bytes (Packet.size pkt) in
   let tx = Units.tx_time ~bits t.link_bandwidth in
-  let finish () =
-    t.tx_packets <- t.tx_packets + 1;
-    t.tx_bytes <- t.tx_bytes + Packet.size pkt;
-    ignore
-      (Simulator.schedule_after t.sim ~delay:t.link_delay (fun () ->
-           deliver t pkt));
-    match Queue_drop_tail.dequeue t.queue with
-    | Some next -> transmit t next
-    | None -> t.transmitting <- false
+  t.tx_current <- pkt;
+  ignore (Simulator.schedule_after t.sim ~delay:tx t.finish_fn)
+
+and finish t =
+  let pkt = t.tx_current in
+  t.tx_packets <- t.tx_packets + 1;
+  t.tx_bytes <- t.tx_bytes + Packet.size pkt;
+  Queue.push pkt t.prop_packets;
+  ignore (Simulator.schedule_after t.sim ~delay:t.link_delay t.prop_fn);
+  match Queue_drop_tail.dequeue t.queue with
+  | Some next -> transmit t next
+  | None ->
+    t.transmitting <- false;
+    t.tx_current <- dummy_packet
+
+(* Defined after [transmit]/[finish] so the shared closures bind once. *)
+let create sim ~name ~bandwidth ~delay ~queue_capacity =
+  let t =
+    {
+      sim;
+      link_name = name;
+      link_bandwidth = bandwidth;
+      link_delay = delay;
+      queue = Queue_drop_tail.create ~capacity:queue_capacity ();
+      receiver = None;
+      monitor = None;
+      transmitting = false;
+      tx_current = dummy_packet;
+      finish_fn = ignore;
+      prop_packets = Queue.create ();
+      prop_fn = ignore;
+      tx_packets = 0;
+      tx_bytes = 0;
+      delivered = 0;
+    }
   in
-  ignore (Simulator.schedule_after t.sim ~delay:tx finish)
+  t.finish_fn <- (fun () -> finish t);
+  t.prop_fn <- (fun () -> propagated t);
+  t
 
 let send t pkt =
   (match t.receiver with

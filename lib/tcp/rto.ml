@@ -47,6 +47,13 @@ let base_ticks t =
     let raw = t.srtt +. Stdlib.max 1.0 (4.0 *. t.rttvar) in
     int_of_float (Float.round raw)
 
+(* Backoff first, clamp second — the order matters and matches BSD 4.4:
+   tcp_timers applies TCPT_RANGESET(rxtcur, rexmtval * backoff[shift],
+   rxtmin, REXMTMAX), i.e. the unclamped smoothed value is multiplied
+   by the backoff factor and only the product is range-limited.
+   Clamping before multiplying would instead let a floored base (below
+   min_ticks) escalate as min * 2^n.  Audited against the BSD tick
+   timer semantics; pinned by the backoff/clamp property test. *)
 let current_ticks t =
   let ticks = base_ticks t * t.multiplier in
   Stdlib.max t.min_ticks (Stdlib.min t.max_ticks ticks)

@@ -24,7 +24,8 @@ type t = {
   mutable sacked : (int * int) list;  (* receiver-reported blocks, merged *)
   mutable hole_cursor : int;  (* next byte to consider for hole retransmission *)
   mutable timing : (int * Simtime.t) option;  (* (first byte, send time) *)
-  mutable timer : Simulator.event option;
+  timer : Soft_timer.t;  (* retransmission timer; restarts fuse, cancels are lazy *)
+  timer_counters : Soft_timer.counters;
   mutable timer_ticks : int;  (* duration the pending timer was armed with *)
   mutable is_complete : bool;
   mutable on_complete : (unit -> unit) option;
@@ -34,46 +35,6 @@ type t = {
   mutable rtt_hist : Obs.Registry.histogram;
   mutable cwnd_hist : Obs.Registry.histogram;
 }
-
-let create sim ~config ~conn ~src ~dst ~total_bytes ~alloc_id ~transmit =
-  Tcp_config.validate config;
-  if total_bytes <= 0 then invalid_arg "Tahoe_sender.create: nothing to send";
-  {
-    sim;
-    cfg = config;
-    conn;
-    src;
-    dst;
-    total = total_bytes;
-    alloc_id;
-    transmit;
-    stats = Tcp_stats.create ();
-    rto_state =
-      Rto.create ~initial_ticks:config.initial_rto_ticks
-        ~min_ticks:config.min_rto_ticks ~max_ticks:config.max_rto_ticks
-        ~max_backoff:config.max_backoff;
-    snd_una = 0;
-    snd_nxt = 0;
-    max_sent = 0;
-    available = total_bytes;
-    cwnd = float_of_int config.mss;
-    ssthresh = config.window;
-    dupacks = 0;
-    recover = -1;
-    in_fast_recovery = false;
-    sacked = [];
-    hole_cursor = 0;
-    timing = None;
-    timer = None;
-    timer_ticks = 0;
-    is_complete = false;
-    on_complete = None;
-    on_send = None;
-    on_timeout_hook = None;
-    obs_trace = Obs.Trace.disabled;
-    rtt_hist = Obs.Registry.histogram Obs.Registry.disabled "tcp.rtt_ticks";
-    cwnd_hist = Obs.Registry.histogram Obs.Registry.disabled "tcp.cwnd_bytes";
-  }
 
 let set_obs t ~trace ~metrics =
   t.obs_trace <- trace;
@@ -98,26 +59,26 @@ let rto t = t.rto_state
 let completed t = t.is_complete
 
 let in_fast_recovery t = t.in_fast_recovery
-let timer_pending t = match t.timer with Some _ -> true | None -> false
+let timer_pending t = Soft_timer.is_armed t.timer
+let timer_counters t = t.timer_counters
 
-let cancel_timer t =
-  match t.timer with
-  | None -> ()
-  | Some ev ->
-    Simulator.cancel t.sim ev;
-    t.timer <- None
+(* Cancelling a timer that already fired or was already cancelled is a
+   checked no-op.  Only [complete] calls this and a completed sender
+   never re-arms, so detach eagerly — a lazily cancelled physical
+   event would execute one stale no-op per connection. *)
+let cancel_timer t = Soft_timer.detach t.timer
 
 (* Coarse timers: the timeout expires on the first clock-tick boundary
    at least [ticks] ticks away, as a BSD-style tick-decremented timer
-   would. *)
+   would.  Restarting to a later deadline fuses with the pending
+   physical event — no queue traffic on the common every-ack rearm. *)
 let rec arm_timer t ~ticks =
-  cancel_timer t;
   let tick_ns = Simtime.span_to_ns t.cfg.tick in
   let now_ns = Simtime.to_ns (Simulator.now t.sim) in
   let to_grid = (tick_ns - (now_ns mod tick_ns)) mod tick_ns in
   let delay = Simtime.span_ns ((ticks * tick_ns) + to_grid) in
   t.timer_ticks <- ticks;
-  t.timer <- Some (Simulator.schedule_after t.sim ~delay (fun () -> on_timeout t))
+  Soft_timer.arm_after t.timer ~delay
 
 and effective_window t =
   Stdlib.min (int_of_float t.cwnd) t.cfg.window
@@ -176,7 +137,6 @@ and send_window t =
     arm_timer t ~ticks:(Rto.current_ticks t.rto_state)
 
 and on_timeout t =
-  t.timer <- None;
   t.stats.Tcp_stats.timeouts <- t.stats.Tcp_stats.timeouts + 1;
   if Obs.Trace.enabled t.obs_trace then
     trace_emit t ~ev:"timeout"
@@ -206,6 +166,55 @@ and enter_loss_recovery t =
   t.sacked <- [];
   t.timing <- None;
   t.snd_nxt <- t.snd_una
+
+(* Defined after the [arm_timer .. on_timeout] chain so the timer's
+   callback can be bound once, here, instead of allocating a closure
+   per rearm. *)
+let create sim ~config ~conn ~src ~dst ~total_bytes ~alloc_id ~transmit =
+  Tcp_config.validate config;
+  if total_bytes <= 0 then invalid_arg "Tahoe_sender.create: nothing to send";
+  let timer_counters = Soft_timer.create_counters () in
+  let t =
+    {
+      sim;
+      cfg = config;
+      conn;
+      src;
+      dst;
+      total = total_bytes;
+      alloc_id;
+      transmit;
+      stats = Tcp_stats.create ();
+      rto_state =
+        Rto.create ~initial_ticks:config.initial_rto_ticks
+          ~min_ticks:config.min_rto_ticks ~max_ticks:config.max_rto_ticks
+          ~max_backoff:config.max_backoff;
+      snd_una = 0;
+      snd_nxt = 0;
+      max_sent = 0;
+      available = total_bytes;
+      cwnd = float_of_int config.mss;
+      ssthresh = config.window;
+      dupacks = 0;
+      recover = -1;
+      in_fast_recovery = false;
+      sacked = [];
+      hole_cursor = 0;
+      timing = None;
+      timer = Soft_timer.create sim ~counters:timer_counters ignore;
+      timer_counters;
+      timer_ticks = 0;
+      is_complete = false;
+      on_complete = None;
+      on_send = None;
+      on_timeout_hook = None;
+      obs_trace = Obs.Trace.disabled;
+      rtt_hist = Obs.Registry.histogram Obs.Registry.disabled "tcp.rtt_ticks";
+      cwnd_hist = Obs.Registry.histogram Obs.Registry.disabled "tcp.cwnd_bytes";
+    }
+  in
+  Soft_timer.set_callback t.timer (fun () -> on_timeout t);
+  t
 
 let grow_cwnd t =
   let mss = float_of_int t.cfg.mss in

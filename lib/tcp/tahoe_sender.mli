@@ -102,6 +102,11 @@ val rto : t -> Rto.t
 val timer_pending : t -> bool
 (** [true] iff the retransmission timer is armed. *)
 
+val timer_counters : t -> Sim_engine.Soft_timer.counters
+(** Operation counters of the retransmission timer (arms, fused
+    restarts, lazy cancels, fires, stale fires, deadline chases) —
+    for observability and the engine bench. *)
+
 val in_fast_recovery : t -> bool
 (** [true] while a Reno sender is in fast recovery. *)
 

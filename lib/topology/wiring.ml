@@ -24,6 +24,8 @@ type outcome = {
   end_time : Simtime.t;
   events_executed : int;
   queue_stats : Event_queue.stats;
+  timer_stats : Soft_timer.counters;
+      (* TCP retransmission timer + every ARQ entry timer, summed *)
   fault : Simulator.fault_report option;
   fault_events : Error_model.Fault.event list;
 }
@@ -520,6 +522,26 @@ let run ?obs ?faults (scenario : Scenario.t) =
       c "engine.queue.dead_drops" qs.Event_queue.dead_drops;
       c "engine.queue.compactions" qs.Event_queue.compactions;
       c "engine.queue.recycled" qs.Event_queue.recycled;
+      c "engine.queue.near_adds" qs.Event_queue.near_adds;
+      c "engine.queue.near_pops" qs.Event_queue.near_pops;
+      c "engine.queue.rebases" qs.Event_queue.rebases;
+      (* Soft-timer churn: the TCP retransmission timer plus every ARQ
+         entry timer, so cancel-fusion efficacy is visible per run. *)
+      let timers name (tc : Soft_timer.counters) =
+        c (name ^ ".arms") tc.Soft_timer.arms;
+        c (name ^ ".fuses") tc.Soft_timer.fuses;
+        c (name ^ ".lazy_cancels") tc.Soft_timer.lazy_cancels;
+        c (name ^ ".fires") tc.Soft_timer.fires;
+        c (name ^ ".stale_fires") tc.Soft_timer.stale_fires;
+        c (name ^ ".chases") tc.Soft_timer.chases
+      in
+      timers "tcp.timer" (Tahoe_sender.timer_counters sender);
+      Option.iter
+        (fun arq -> timers "arq.down.timer" (Arq.timer_counters arq))
+        downlink_arq;
+      Option.iter
+        (fun arq -> timers "arq.up.timer" (Arq.timer_counters arq))
+        uplink_arq;
       let st = Tahoe_sender.stats sender in
       c "tcp.packets_sent" st.Tcp_stats.packets_sent;
       c "tcp.bytes_sent" st.Tcp_stats.bytes_sent;
@@ -582,6 +604,22 @@ let run ?obs ?faults (scenario : Scenario.t) =
     end_time = Simulator.now sim;
     events_executed = Simulator.events_executed sim;
     queue_stats = Simulator.queue_stats sim;
+    timer_stats =
+      (let total = Soft_timer.create_counters () in
+       let absorb (c : Soft_timer.counters) =
+         total.Soft_timer.arms <- total.Soft_timer.arms + c.Soft_timer.arms;
+         total.Soft_timer.fuses <- total.Soft_timer.fuses + c.Soft_timer.fuses;
+         total.Soft_timer.lazy_cancels <-
+           total.Soft_timer.lazy_cancels + c.Soft_timer.lazy_cancels;
+         total.Soft_timer.fires <- total.Soft_timer.fires + c.Soft_timer.fires;
+         total.Soft_timer.stale_fires <-
+           total.Soft_timer.stale_fires + c.Soft_timer.stale_fires;
+         total.Soft_timer.chases <- total.Soft_timer.chases + c.Soft_timer.chases
+       in
+       absorb (Tahoe_sender.timer_counters sender);
+       Option.iter (fun arq -> absorb (Arq.timer_counters arq)) downlink_arq;
+       Option.iter (fun arq -> absorb (Arq.timer_counters arq)) uplink_arq;
+       total);
     fault;
     fault_events =
       (match injector with

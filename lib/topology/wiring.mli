@@ -36,6 +36,11 @@ type outcome = {
   queue_stats : Sim_engine.Event_queue.stats;
       (** lifetime pending-event-set counters, for the engine stats
           surface ([wtcp run --engine-stats]) *)
+  timer_stats : Sim_engine.Soft_timer.counters;
+      (** soft-timer operation counters summed over the TCP
+          retransmission timer and every ARQ entry timer: how many
+          re-arms fused, how many cancels were lazy, how many physical
+          events surfaced stale or chased a moved deadline *)
   fault : Sim_engine.Simulator.fault_report option;
       (** present when fault injection was active and a component
           raised: the run ended early and this outcome is partial *)

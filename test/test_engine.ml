@@ -507,6 +507,121 @@ let test_sim_step () =
   ignore (Simulator.schedule sim ~at:(Simtime.of_ns 1) ignore);
   Alcotest.(check bool) "step runs one" true (Simulator.step sim)
 
+(* ------------------------------------------------------------------ *)
+(* Event queue handle safety                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_queue_stale_handle_cancel () =
+  (* Generation-stamped handles: cancelling an event that already
+     popped — after its slot has been recycled by a newer event — must
+     not touch the newer occupant. *)
+  let q = Event_queue.create () in
+  let h1 = Event_queue.add q ~time:(Simtime.of_ns 1) "old" in
+  (match Event_queue.pop q with
+  | Some (_, "old") -> ()
+  | _ -> Alcotest.fail "expected to pop the first event");
+  (* The pool is empty again, so this add recycles h1's slot. *)
+  ignore (Event_queue.add q ~time:(Simtime.of_ns 2) "new");
+  Event_queue.cancel q h1;
+  Event_queue.cancel q h1;
+  (match Event_queue.pop q with
+  | Some (_, "new") -> ()
+  | _ -> Alcotest.fail "stale cancel must not kill the slot's new occupant");
+  (* The inert null handle is never live and cancelling it is a no-op. *)
+  Alcotest.(check bool) "null handle is dead" false
+    (Event_queue.is_live q Event_queue.null);
+  Event_queue.cancel q Event_queue.null
+
+(* ------------------------------------------------------------------ *)
+(* Soft_timer                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let soft_fixture () =
+  let sim = Simulator.create () in
+  let counters = Soft_timer.create_counters () in
+  let fired = ref [] in
+  let timer =
+    Soft_timer.create sim ~counters (fun () -> fired := Simulator.now sim :: !fired)
+  in
+  (sim, counters, fired, timer)
+
+let ns_list l = List.rev_map Simtime.to_ns l
+
+let test_soft_fires_once () =
+  let sim, c, fired, timer = soft_fixture () in
+  Soft_timer.arm timer ~at:(Simtime.of_ns 50);
+  Alcotest.(check bool) "armed" true (Soft_timer.is_armed timer);
+  Simulator.run sim;
+  Alcotest.(check (list int)) "fired at deadline" [ 50 ] (ns_list !fired);
+  Alcotest.(check bool) "disarmed after fire" false (Soft_timer.is_armed timer);
+  Alcotest.(check int) "fires" 1 c.Soft_timer.fires;
+  Alcotest.(check int) "arms" 1 c.Soft_timer.arms
+
+let test_soft_double_cancel_noop () =
+  let sim, c, fired, timer = soft_fixture () in
+  Soft_timer.arm timer ~at:(Simtime.of_ns 50);
+  Soft_timer.cancel timer;
+  (* Second cancel of an already-cancelled timer: checked no-op. *)
+  Soft_timer.cancel timer;
+  Alcotest.(check int) "one lazy cancel counted" 1 c.Soft_timer.lazy_cancels;
+  Simulator.run sim;
+  Alcotest.(check (list int)) "never fired" [] (ns_list !fired);
+  Alcotest.(check int) "stale physical event dropped" 1 c.Soft_timer.stale_fires;
+  (* The timer stays usable after the stale event died. *)
+  Soft_timer.arm timer ~at:(Simtime.of_ns 90);
+  Simulator.run sim;
+  Alcotest.(check (list int)) "re-arm fires" [ 90 ] (ns_list !fired)
+
+let test_soft_cancel_after_fire_noop () =
+  let sim, c, fired, timer = soft_fixture () in
+  Soft_timer.arm timer ~at:(Simtime.of_ns 10);
+  Simulator.run sim;
+  Alcotest.(check (list int)) "fired" [ 10 ] (ns_list !fired);
+  (* Cancelling a timer that already fired must change nothing. *)
+  Soft_timer.cancel timer;
+  Alcotest.(check int) "no lazy cancel recorded" 0 c.Soft_timer.lazy_cancels;
+  Soft_timer.arm timer ~at:(Simtime.of_ns 20);
+  Simulator.run sim;
+  Alcotest.(check (list int)) "fires again" [ 10; 20 ] (ns_list !fired)
+
+let test_soft_fuse_and_chase () =
+  let sim, c, fired, timer = soft_fixture () in
+  (* Push the deadline later while a physical event is pending: the
+     re-arm fuses (no queue traffic) and the early event chases. *)
+  Soft_timer.arm timer ~at:(Simtime.of_ns 50);
+  Soft_timer.arm timer ~at:(Simtime.of_ns 80);
+  Alcotest.(check int) "re-arm fused" 1 c.Soft_timer.fuses;
+  Alcotest.(check (option int)) "deadline moved" (Some 80)
+    (Option.map Simtime.to_ns (Soft_timer.expiry timer));
+  Simulator.run sim;
+  Alcotest.(check (list int)) "fired once, at the moved deadline" [ 80 ]
+    (ns_list !fired);
+  Alcotest.(check int) "early surfacing chased" 1 c.Soft_timer.chases;
+  Alcotest.(check int) "fires" 1 c.Soft_timer.fires
+
+let test_soft_rearm_earlier () =
+  let sim, c, fired, timer = soft_fixture () in
+  Soft_timer.arm timer ~at:(Simtime.of_ns 80);
+  (* Moving the deadline earlier cannot fuse: the pending physical
+     event would surface too late. *)
+  Soft_timer.arm timer ~at:(Simtime.of_ns 30);
+  Alcotest.(check int) "no fuse" 0 c.Soft_timer.fuses;
+  Simulator.run sim;
+  Alcotest.(check (list int)) "fired at the earlier deadline" [ 30 ]
+    (ns_list !fired);
+  Alcotest.(check int) "fired once" 1 c.Soft_timer.fires
+
+let test_soft_detach_clears_queue () =
+  let sim, _, fired, timer = soft_fixture () in
+  Soft_timer.arm timer ~at:(Simtime.of_ns 50);
+  Soft_timer.detach timer;
+  Alcotest.(check int) "nothing pending after detach" 0
+    (Simulator.pending_events sim);
+  Simulator.run sim;
+  Alcotest.(check (list int)) "never fired" [] (ns_list !fired);
+  (* Detach is also a checked no-op on an idle timer. *)
+  Soft_timer.detach timer
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "engine"
@@ -538,9 +653,26 @@ let () =
           Alcotest.test_case "interleaved growth" `Quick test_queue_interleaved_growth;
           Alcotest.test_case "cancel-heavy occupancy bounded" `Quick
             test_queue_cancel_heavy_bounded;
+          Alcotest.test_case "stale handle cancel is a no-op" `Quick
+            test_queue_stale_handle_cancel;
           qc prop_queue_matches_sort;
           qc prop_queue_model_mixed;
           qc prop_queue_model_cancel_heavy;
+        ] );
+      ( "soft_timer",
+        [
+          Alcotest.test_case "fires once at deadline" `Quick
+            test_soft_fires_once;
+          Alcotest.test_case "double cancel is a no-op" `Quick
+            test_soft_double_cancel_noop;
+          Alcotest.test_case "cancel after fire is a no-op" `Quick
+            test_soft_cancel_after_fire_noop;
+          Alcotest.test_case "later re-arm fuses, event chases" `Quick
+            test_soft_fuse_and_chase;
+          Alcotest.test_case "earlier re-arm reschedules" `Quick
+            test_soft_rearm_earlier;
+          Alcotest.test_case "detach leaves queue empty" `Quick
+            test_soft_detach_clears_queue;
         ] );
       ( "simulator",
         [

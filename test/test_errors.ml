@@ -109,6 +109,60 @@ let prop_timeline_coverage =
       let segments = State_timeline.segments tl ~start ~stop in
       Simtime.span_to_ns (total_span segments) = len_ms * 1_000_000)
 
+let test_index_at_guards () =
+  let tl = fixed_timeline ~good:10.0 ~bad:4.0 in
+  (* Before anything is materialised the binary search would read the
+     stale ends.(0); guarded instead. *)
+  Alcotest.check_raises "empty timeline"
+    (Invalid_argument "State_timeline.index_at: empty timeline") (fun () ->
+      ignore (State_timeline.index_at tl Simtime.zero));
+  (* Materialises periods [0,10s) good and [10s,14s) bad. *)
+  ignore
+    (State_timeline.segments tl ~start:Simtime.zero ~stop:(at 12_000_000_000));
+  Alcotest.(check int) "inside first period" 0
+    (State_timeline.index_at tl (at 3_000_000_000));
+  Alcotest.(check int) "period end belongs to the next period" 1
+    (State_timeline.index_at tl (at 10_000_000_000));
+  Alcotest.(check int) "inside last period" 1
+    (State_timeline.index_at tl (at 13_999_999_999));
+  (* Past the horizon the unguarded search would silently return the
+     last index as if the time fell inside it. *)
+  Alcotest.check_raises "beyond materialised horizon"
+    (Invalid_argument
+       "State_timeline.index_at: time beyond materialised horizon") (fun () ->
+      ignore (State_timeline.index_at tl (at 14_000_000_000)))
+
+let prop_weighted_seconds_matches_fold =
+  (* The allocation-free walk must reproduce the segment-list fold
+     bit for bit: same additions, same order, exact float equality. *)
+  QCheck2.Test.make ~name:"weighted_seconds == segment fold, exactly"
+    ~count:200
+    QCheck2.Gen.(
+      pair
+        (pair (int_range 0 40_000) (int_range 1 40_000))
+        (pair (int_range 0 1_000) (int_range 0 1_000)))
+    (fun ((start_ms, len_ms), (g_i, b_i)) ->
+      let tl = fixed_timeline ~good:3.0 ~bad:2.0 in
+      let good = float_of_int g_i *. 0.0192
+      and bad = float_of_int b_i *. 1.92 in
+      let start = at (start_ms * 1_000_000) in
+      let stop = Simtime.add start (Simtime.span_ms len_ms) in
+      let walked = State_timeline.weighted_seconds tl ~start ~stop ~good ~bad in
+      let folded =
+        List.fold_left
+          (fun acc (state, d) ->
+            let rate =
+              match state with
+              | Channel_state.Good -> good
+              | Channel_state.Bad -> bad
+            in
+            acc +. (rate *. Simtime.span_to_sec d))
+          0.0
+          (State_timeline.segments tl ~start ~stop)
+      in
+      walked = folded
+      && State_timeline.weighted_seconds tl ~start ~stop:start ~good ~bad = 0.0)
+
 (* ------------------------------------------------------------------ *)
 (* Channel wrappers                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -318,6 +372,58 @@ let prop_loss_monotone_in_exposure =
       in
       expected lo <= expected hi)
 
+let prop_batched_loss_equals_per_frame =
+  (* The tentpole identity: deciding frame losses through the
+     channel-direct weighted walk must match the original per-frame
+     segment-list fold — same decisions, same decision-stream draws,
+     same channel randomness consumed — across random Gilbert–Elliott
+     parameters, seeds and frame schedules. *)
+  QCheck2.Test.make
+    ~name:"channel-direct loss == per-frame segment draws (GE, random seeds)"
+    ~count:60
+    QCheck2.Gen.(
+      triple (int_range 1 1_000_000)
+        (pair (int_range 50 20_000) (int_range 20 8_000))
+        (list_size (int_range 1 50)
+           (pair (int_range 0 3_000) (int_range 1 400))))
+    (fun (seed, (good_ms, bad_ms), frames) ->
+      let make_channel () =
+        let rng = Rng.create ~seed in
+        Gilbert_elliott.create ~rng
+          ~mean_good:(Simtime.span_ms good_ms)
+          ~mean_bad:(Simtime.span_ms bad_ms)
+      in
+      let direct_ch = make_channel () and folded_ch = make_channel () in
+      let direct_rng = Rng.create ~seed:(seed + 7)
+      and folded_rng = Rng.create ~seed:(seed + 7) in
+      let ber = Loss.paper_ber in
+      let bits_per_sec = 19_200.0 in
+      let cursor = ref Simtime.zero in
+      let agree = ref true in
+      List.iter
+        (fun (gap_ms, air_us) ->
+          let start = Simtime.add !cursor (Simtime.span_ms gap_ms) in
+          let stop = Simtime.add start (Simtime.span_us air_us) in
+          cursor := stop;
+          let direct =
+            Loss.frame_lost_in (Loss.Stochastic direct_rng) ber ~bits_per_sec
+              ~channel:direct_ch ~start ~stop
+          in
+          let folded =
+            Loss.frame_lost (Loss.Stochastic folded_rng) ber ~bits_per_sec
+              ~segments:(Channel.segments folded_ch ~start ~stop)
+          in
+          if direct <> folded then agree := false)
+        frames;
+      (* Both decision streams and both channel streams must be in the
+         same position afterwards: any divergence in consumption shows
+         up in the next draw / the next materialised periods. *)
+      let horizon = Simtime.add !cursor (Simtime.span_ms 5_000) in
+      !agree
+      && Rng.bits64 direct_rng = Rng.bits64 folded_rng
+      && Channel.segments direct_ch ~start:!cursor ~stop:horizon
+         = Channel.segments folded_ch ~start:!cursor ~stop:horizon)
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "errors"
@@ -335,7 +441,9 @@ let () =
           Alcotest.test_case "empty interval" `Quick test_timeline_empty_interval;
           Alcotest.test_case "positive durations" `Quick
             test_timeline_positive_duration_enforced;
+          Alcotest.test_case "index_at guards" `Quick test_index_at_guards;
           qc prop_timeline_coverage;
+          qc prop_weighted_seconds_matches_fold;
         ] );
       ( "channels",
         [
@@ -367,5 +475,6 @@ let () =
           Alcotest.test_case "no errors never loses" `Quick
             test_no_errors_never_loses;
           qc prop_loss_monotone_in_exposure;
+          qc prop_batched_loss_equals_per_frame;
         ] );
     ]

@@ -433,6 +433,7 @@ let test_arq_recovers_from_fade () =
         @ piece (Simtime.max start bad_end) (Simtime.max stop bad_end)
             Channel_state.Good
         |> List.filter (fun (_, d) -> Simtime.span_to_ns d > 0))
+      ()
   in
   let rig = make_rig ~rt_max:20 ~channel () in
   send_packets rig 5;

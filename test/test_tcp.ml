@@ -84,6 +84,43 @@ let prop_rto_within_bounds =
       let t = Rto.current_ticks rto in
       t >= 2 && t <= 640)
 
+let prop_rto_backoff_then_clamp =
+  (* BSD 4.4 TCPT_RANGESET order: the *unclamped* smoothed estimate is
+     multiplied by the backoff factor and only the product is range
+     limited.  With a sub-minimum base this differs observably from
+     clamp-then-backoff (which would escalate as min·2ⁿ), so the
+     property pins the order for any sample stream and backoff depth. *)
+  QCheck2.Test.make
+    ~name:"rto backoff multiplies the unclamped base, then clamps (BSD order)"
+    ~count:300
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 30) (int_range 0 200))
+        (int_range 0 8))
+    (fun (samples, backoffs) ->
+      let rto = make_rto () in
+      List.iter (fun s -> Rto.sample rto ~rtt_ticks:s) samples;
+      for _ = 1 to backoffs do
+        Rto.backoff rto
+      done;
+      (* Reconstruct the expected value from the observable unclamped
+         base: srtt + max 1 (4·rttvar), rounded — initial_ticks before
+         the first sample. *)
+      let base =
+        if Rto.samples rto = 0 then 30
+        else
+          int_of_float
+            (Float.round
+               (Rto.srtt_ticks rto
+               +. Stdlib.max 1.0 (4.0 *. Rto.rttvar_ticks rto)))
+      in
+      let expected =
+        Stdlib.max 2
+          (Stdlib.min 640 (base * Rto.backoff_multiplier rto))
+      in
+      Rto.current_ticks rto = expected
+      && Rto.backoff_multiplier rto = Stdlib.min 64 (1 lsl backoffs))
+
 (* ------------------------------------------------------------------ *)
 (* Tahoe_sender harness                                                *)
 (* ------------------------------------------------------------------ *)
@@ -474,6 +511,7 @@ let () =
           Alcotest.test_case "backoff" `Quick test_rto_backoff_doubles_and_caps;
           Alcotest.test_case "min enforced" `Quick test_rto_min_enforced;
           qc prop_rto_within_bounds;
+          qc prop_rto_backoff_then_clamp;
         ] );
       ( "tahoe_sender",
         [
