@@ -17,7 +17,7 @@
    advisor (the §4.1 packet-size table), goodput, ablation-schemes,
    ablation-quench, ablation-tick, ablation-rtmax, ablation-window,
    ablation-window-tcp, ablation-rearm, ablation-pacing,
-   ablation-flavor, ablation-delack, ablation-congestion,
+   ablation-cc, ablation-cc-table, ablation-delack, ablation-congestion,
    ablation-sched, ablation-handoff, micro (Bechamel engine
    micro-benchmarks), parallel (sequential vs parallel wall-clock of
    the fig7+fig10+fig11 battery on the persistent domain pool, plus
@@ -30,8 +30,9 @@
    obs (observability determinism: trace+metrics byte-identical at
    any jobs=N), chaos (campaign of plans=N seeded fault plans under
    the invariant checkers, plus the empty-fault-plan byte-identity
-   check, recorded in BENCH_chaos.json).  No target runs
-   everything. *)
+   check, recorded in BENCH_chaos.json), cc (Tahoe-via-Cc fig7/fig10
+   byte-identity gate at jobs=1 and jobs=N plus a per-variant goodput
+   battery, recorded in BENCH_cc.json).  No target runs everything. *)
 
 let replications = ref 10
 let jobs = ref (Core.Parallel.default_jobs ())
@@ -191,8 +192,11 @@ let goodput () =
 let ablation_rearm () =
   section (Core.Ablations.ebsn_rearm ~replications:(r ()) ~jobs:(j ()) ())
 
-let ablation_flavor () =
-  section (Core.Ablations.flavor ~replications:(r ()) ~jobs:(j ()) ())
+let ablation_cc () =
+  section (Core.Ablations.cc ~replications:(r ()) ~jobs:(j ()) ())
+
+let ablation_cc_table () =
+  section (Core.Ablations.cc_table ~replications:(r ()) ~jobs:(j ()) ())
 
 let ablation_delack () =
   section (Core.Ablations.delayed_ack ~replications:(r ()) ~jobs:(j ()) ())
@@ -951,6 +955,117 @@ let chaos_bench () =
   if not (campaign_ok && identical) then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Congestion-control battery (BENCH_cc.json)                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The Cc-extraction acceptance gate: Tahoe expressed through the
+   pluggable Cc interface must reproduce the pre-refactor fig7/fig10
+   CSVs byte for byte, at jobs=1 and jobs=N.  On top of that, one
+   short WAN run per variant (basic and EBSN) records the cross-CC
+   goodput battery so a regression in any variant's state machine
+   shows up as a numeric drift in BENCH_cc.json. *)
+let cc_bench () =
+  let fig7_csv jobs =
+    Core.Wan_sweep.to_csv (Core.Fig7.compute ~replications:3 ~jobs ())
+  in
+  let fig10_csv jobs =
+    let basic, ebsn = Core.Fig10.compute ~replications:3 ~jobs () in
+    Core.Lan_sweep.to_csv [ basic; ebsn ]
+  in
+  let digest csv = Digest.to_hex (Digest.string csv) in
+  let identity =
+    [
+      ("fig7", 1, digest (fig7_csv 1), pre_pr_fig7_md5);
+      ("fig7", !jobs, digest (fig7_csv !jobs), pre_pr_fig7_md5);
+      ("fig10", 1, digest (fig10_csv 1), pre_pr_fig10_md5);
+      ("fig10", !jobs, digest (fig10_csv !jobs), pre_pr_fig10_md5);
+    ]
+  in
+  let identical = List.for_all (fun (_, _, got, want) -> got = want) identity in
+  (* Per-variant battery: one WAN scenario per (scheme, cc) cell. *)
+  let ccs = Core.Tcp_config.all_ccs in
+  let schemes = [ Core.Scenario.Basic; Core.Scenario.Ebsn ] in
+  let cells =
+    List.concat_map
+      (fun scheme ->
+        List.map
+          (fun cc ->
+            ( scheme,
+              cc,
+              Core.Scenario.with_cc
+                (Core.Scenario.wan ~scheme ~mean_bad_sec:4.0 ())
+                cc ))
+          ccs)
+      schemes
+  in
+  let measurements =
+    Core.Sweep.measurements_all ~replications:3 ~jobs:!jobs
+      (List.map (fun (_, _, s) -> s) cells)
+  in
+  let battery =
+    List.map2
+      (fun (scheme, cc, _) ms ->
+        let mean metric =
+          (Core.Summary.of_list (List.map metric ms)).Core.Summary.mean
+        in
+        ( Core.Scenario.scheme_name scheme,
+          Core.Tcp_config.cc_name cc,
+          mean Core.Sweep.throughput,
+          mean Core.Sweep.goodput ))
+      cells measurements
+  in
+  section
+    (String.concat "\n"
+       [
+         Core.Report.heading
+           "Congestion control — Tahoe-via-Cc identity + variant battery";
+         Core.Report.table
+           ~columns:[ "scheme"; "cc"; "tput kbps"; "goodput" ]
+           ~rows:
+             (List.map
+                (fun (scheme, cc, tput, goodput) ->
+                  [
+                    scheme; cc; Core.Report.kbps tput;
+                    Core.Report.fixed 3 goodput;
+                  ])
+                battery);
+         Core.Report.note
+           (Printf.sprintf
+              "fig7+fig10 via the Cc interface byte-identical to pre-PR at \
+               jobs=1 and jobs=%d: %b"
+              !jobs identical);
+       ]);
+  let buf = Buffer.create 2048 in
+  Printf.bprintf buf "{\n  \"target\": \"cc\",\n";
+  Printf.bprintf buf "  \"identity\": {\n    \"jobs\": [1, %d],\n" !jobs;
+  Printf.bprintf buf "    \"fig7_md5\": %S,\n    \"fig10_md5\": %S,\n"
+    pre_pr_fig7_md5 pre_pr_fig10_md5;
+  Printf.bprintf buf "    \"identical_to_pre_pr\": %b\n  },\n" identical;
+  Printf.bprintf buf "  \"battery\": [\n";
+  let n = List.length battery in
+  List.iteri
+    (fun i (scheme, cc, tput, goodput) ->
+      Printf.bprintf buf
+        "    {\"scheme\": %S, \"cc\": %S, \"throughput_bps\": %.1f, \
+         \"goodput\": %.4f}%s\n"
+        scheme cc tput goodput
+        (if i = n - 1 then "" else ","))
+    battery;
+  Printf.bprintf buf "  ]\n}\n";
+  Core.Report.write_atomic ~path:"BENCH_cc.json" (Buffer.contents buf);
+  print_endline "wrote BENCH_cc.json";
+  if not identical then begin
+    List.iter
+      (fun (fig, jobs, got, want) ->
+        if got <> want then
+          Printf.eprintf "FAIL: %s at jobs=%d digests %s, pre-PR was %s\n" fig
+            jobs got want)
+      identity;
+    prerr_endline "FAIL: Tahoe via the Cc interface drifted from pre-PR output";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let targets =
   [
@@ -970,7 +1085,8 @@ let targets =
     ("ablation-pacing", ablation_pacing);
     ("ablation-window-tcp", ablation_tcp_window);
     ("ablation-rearm", ablation_rearm);
-    ("ablation-flavor", ablation_flavor);
+    ("ablation-cc", ablation_cc);
+    ("ablation-cc-table", ablation_cc_table);
     ("ablation-delack", ablation_delack);
     ("ablation-congestion", ablation_congestion);
     ("ablation-sched", ablation_sched);
@@ -980,6 +1096,7 @@ let targets =
     ("engine", engine_bench);
     ("obs", obs_bench);
     ("chaos", chaos_bench);
+    ("cc", cc_bench);
   ]
 
 let usage () =

@@ -112,24 +112,27 @@ let verbose_arg =
         ~doc:"Log simulator events (timeouts, EBSNs, source sends) to \
               stderr while running.")
 
-let flavor_arg =
-  let flavor_conv =
-    let parse = function
-      | "tahoe" -> Ok Core.Tcp_config.Tahoe
-      | "reno" -> Ok Core.Tcp_config.Reno
-      | "sack" -> Ok Core.Tcp_config.Sack
-      | f -> Error (`Msg (Printf.sprintf "unknown flavor %S (tahoe|reno|sack)" f))
-    in
-    let print ppf f =
-      Format.pp_print_string ppf (Core.Tcp_config.flavor_name f)
-    in
-    Arg.conv (parse, print)
+let cc_conv =
+  let parse s =
+    match Core.Tcp_config.cc_of_name s with
+    | Some cc -> Ok cc
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown congestion control %S (%s)" s
+             (String.concat "|"
+                (List.map Core.Tcp_config.cc_name Core.Tcp_config.all_ccs))))
   in
+  let print ppf cc = Format.pp_print_string ppf (Core.Tcp_config.cc_name cc) in
+  Arg.conv (parse, print)
+
+let cc_arg =
   Arg.(
     value
-    & opt flavor_conv Core.Tcp_config.Tahoe
-    & info [ "flavor" ] ~docv:"FLAVOR"
-        ~doc:"TCP congestion-control variant: tahoe (paper), reno or sack.")
+    & opt cc_conv Core.Tcp_config.Tahoe
+    & info [ "cc"; "flavor" ] ~docv:"CC"
+        ~doc:"TCP congestion-control variant: tahoe (the paper's), reno, \
+              newreno, sack or vegas.")
 
 let deterministic_arg =
   Arg.(
@@ -138,7 +141,7 @@ let deterministic_arg =
         ~doc:"Use constant good/bad period lengths (the paper's Figures \
               3-5 model) instead of the two-state Markov model.")
 
-let build_scenario ?(flavor = Core.Tcp_config.Tahoe) ?(verbose = false) preset
+let build_scenario ?(cc = Core.Tcp_config.Tahoe) ?(verbose = false) preset
     scheme packet_size bad good file seed deterministic =
   if verbose then Core.Slog.set_level (Some Logs.Debug);
   let error_mode =
@@ -153,16 +156,16 @@ let build_scenario ?(flavor = Core.Tcp_config.Tahoe) ?(verbose = false) preset
       Core.Scenario.lan ~scheme ?packet_size ?mean_bad_sec:bad
         ?mean_good_sec:good ?file_bytes:file ~seed ~error_mode ()
   in
-  { s with Core.Scenario.tcp = { s.Core.Scenario.tcp with Core.Tcp_config.flavor } }
+  Core.Scenario.with_cc s cc
 
 let scenario_term =
-  let assemble flavor verbose preset scheme packet_size bad good file seed
+  let assemble cc verbose preset scheme packet_size bad good file seed
       deterministic =
-    build_scenario ~flavor ~verbose preset scheme packet_size bad good file
+    build_scenario ~cc ~verbose preset scheme packet_size bad good file
       seed deterministic
   in
   Term.(
-    const assemble $ flavor_arg $ verbose_arg $ preset_arg $ scheme_arg
+    const assemble $ cc_arg $ verbose_arg $ preset_arg $ scheme_arg
     $ packet_size_arg $ bad_arg $ good_arg $ file_arg $ seed_arg
     $ deterministic_arg)
 
@@ -391,13 +394,13 @@ let compare_cmd =
       value & opt int 5
       & info [ "replications" ] ~docv:"N" ~doc:"Runs per scheme.")
   in
-  let action preset packet_size bad good file seed replications jobs =
+  let action cc preset packet_size bad good file seed replications jobs =
     Printf.printf "%-16s %10s %9s %9s %9s\n" "scheme" "tput kbps" "goodput"
       "retx KB" "timeouts";
     List.iter
       (fun scheme ->
         let scenario =
-          build_scenario preset scheme packet_size bad good file seed false
+          build_scenario ~cc preset scheme packet_size bad good file seed false
         in
         let measurements = Core.Sweep.measurements ~replications ~jobs scenario in
         let metric f =
@@ -414,8 +417,8 @@ let compare_cmd =
   Cmd.v
     (Cmd.info "compare" ~doc:"All recovery schemes side by side")
     Term.(
-      const action $ preset_arg $ packet_size_arg $ bad_arg $ good_arg
-      $ file_arg $ seed_arg $ reps_arg $ jobs_arg)
+      const action $ cc_arg $ preset_arg $ packet_size_arg $ bad_arg
+      $ good_arg $ file_arg $ seed_arg $ reps_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* handoff                                                             *)
@@ -432,15 +435,15 @@ let handoff_cmd =
       value & opt float 8.0
       & info [ "residence" ] ~docv:"SEC" ~doc:"Cell residence time.")
   in
-  let action blackout residence seed jobs =
+  let action cc blackout residence seed jobs =
     Printf.printf "%-18s %10s %9s %10s %9s\n" "policy" "tput kbps" "timeouts"
       "fast retx" "handoffs";
     let results =
       Core.Parallel.map ~jobs
         (fun policy ->
           ( policy,
-            Core.Handoff.run ~blackout_sec:blackout ~residence_sec:residence
-              ~seed ~policy () ))
+            Core.Handoff.run ~cc ~blackout_sec:blackout
+              ~residence_sec:residence ~seed ~policy () ))
         [
           Core.Handoff.Plain; Core.Handoff.Fast_rtx;
           Core.Handoff.Fast_rtx_reroute;
@@ -458,7 +461,9 @@ let handoff_cmd =
   Cmd.v
     (Cmd.info "handoff"
        ~doc:"Handoff experiment: plain TCP vs fast retransmit on re-attach")
-    Term.(const action $ blackout_arg $ residence_arg $ seed_arg $ jobs_arg)
+    Term.(
+      const action $ cc_arg $ blackout_arg $ residence_arg $ seed_arg
+      $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* csdp                                                                *)
@@ -529,9 +534,9 @@ let chaos_cmd =
           ~doc:"Write the campaign report as JSON to $(docv) (atomic \
                 temp-file + rename).")
   in
-  let action plans base_seed jobs check no_check json_path =
+  let action cc plans base_seed jobs check no_check json_path =
     let check = check || not no_check in
-    let results = Core.Chaos.campaign ~plans ~base_seed ~jobs ~check () in
+    let results = Core.Chaos.campaign ~plans ~base_seed ~jobs ~check ~cc () in
     print_string (Core.Chaos.render results);
     (match json_path with
     | Some path ->
@@ -546,7 +551,7 @@ let chaos_cmd =
              EBSN loss, queue overflow, handoffs — every plan must end in \
              a well-defined state")
     Term.(
-      const action $ plans_arg $ seed_arg $ jobs_arg $ check_arg
+      const action $ cc_arg $ plans_arg $ seed_arg $ jobs_arg $ check_arg
       $ no_check_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)

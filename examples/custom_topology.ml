@@ -3,7 +3,7 @@
    station, a satellite-grade bursty wireless hop, and a hand-wired
    TCP connection.  Demonstrates the public API a downstream user
    composes: Simulator, Node, Link, Wireless_link, Channel, Fragmenter,
-   Reassembly, Tahoe_sender, Tcp_sink.
+   Reassembly, Tcp_sender, Tcp_sink.
 
      dune exec examples/custom_topology.exe *)
 
@@ -163,7 +163,7 @@ let () =
   let file_bytes = 204_800 in
   let tcp = Tcp_config.with_packet_size Tcp_config.default 576 in
   let sender =
-    Tahoe_sender.create sim ~config:tcp ~conn:0 ~src:server ~dst:mobile
+    Tcp_sender.create sim ~config:tcp ~conn:0 ~src:server ~dst:mobile
       ~total_bytes:file_bytes ~alloc_id ~transmit:(Node.send n_server)
   in
   let sink =
@@ -172,9 +172,9 @@ let () =
   in
   Node.set_local_handler n_server (fun pkt ->
       match pkt.Packet.kind with
-      | Packet.Tcp_ack { ack; _ } -> Tahoe_sender.handle_ack sender ~ack
-      | Packet.Ebsn _ -> Tahoe_sender.handle_ebsn sender
-      | Packet.Source_quench _ -> Tahoe_sender.handle_quench sender
+      | Packet.Tcp_ack { ack; _ } -> Tcp_sender.handle_ack sender ~ack
+      | Packet.Ebsn _ -> Tcp_sender.handle_ebsn sender
+      | Packet.Source_quench _ -> Tcp_sender.handle_quench sender
       | Packet.Tcp_data _ -> ());
   Node.set_local_handler n_mobile (fun pkt ->
       match pkt.Packet.kind with
@@ -186,7 +186,7 @@ let () =
 
   let start = Simulator.now sim in
   Tcp_sink.set_on_complete sink (fun () -> Simulator.stop sim);
-  Tahoe_sender.start sender;
+  Tcp_sender.start sender;
   Simulator.run ~until:(Simtime.add start (Simtime.span_sec 600.0)) sim;
 
   match Tcp_sink.completion_time sink with

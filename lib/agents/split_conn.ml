@@ -5,7 +5,7 @@ type t = {
   conn : int;
   mobile : Address.t;
   bs_sink : Tcp_sink.t;  (* terminates the wired connection *)
-  wireless : Tahoe_sender.t;  (* re-sends over the wireless hop *)
+  wireless : Tcp_sender.t;  (* re-sends over the wireless hop *)
 }
 
 let create sim ~wired_config ~wireless_config ~conn ~fixed ~bs ~mobile
@@ -15,11 +15,11 @@ let create sim ~wired_config ~wireless_config ~conn ~fixed ~bs ~mobile
       ~expected_bytes:file_bytes ~alloc_id ~transmit:send_wired
   in
   let wireless =
-    Tahoe_sender.create sim ~config:wireless_config ~conn ~src:bs ~dst:mobile
+    Tcp_sender.create sim ~config:wireless_config ~conn ~src:bs ~dst:mobile
       ~total_bytes:file_bytes ~alloc_id ~transmit:send_downlink
   in
-  Tahoe_sender.restrict_available wireless 0;
-  Tahoe_sender.start wireless;
+  Tcp_sender.restrict_available wireless 0;
+  Tcp_sender.start wireless;
   { conn; mobile; bs_sink; wireless }
 
 let on_forward t pkt =
@@ -30,15 +30,15 @@ let on_forward t pkt =
     (* The wireless sender may now send every contiguous byte the
        relay holds. *)
     let available = Tcp_sink.rcv_nxt t.bs_sink in
-    if available > 0 then Tahoe_sender.set_available t.wireless available;
+    if available > 0 then Tcp_sender.set_available t.wireless available;
     true
   | Packet.Tcp_data _ | Packet.Tcp_ack _ | Packet.Ebsn _
   | Packet.Source_quench _ ->
     false
 
 let handle_wireless_ack ?(sack = []) t ~ack =
-  Tahoe_sender.handle_ack ~sack t.wireless ~ack
+  Tcp_sender.handle_ack ~sack t.wireless ~ack
 let wireless_sender t = t.wireless
 
 let buffered_bytes t =
-  Tcp_sink.rcv_nxt t.bs_sink - Tahoe_sender.snd_una t.wireless
+  Tcp_sink.rcv_nxt t.bs_sink - Tcp_sender.snd_una t.wireless

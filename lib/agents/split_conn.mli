@@ -38,7 +38,7 @@ val on_forward : t -> Netsim.Packet.t -> bool
 val handle_wireless_ack : ?sack:(int * int) list -> t -> ack:int -> unit
 (** Feed an acknowledgement arriving from the mobile host. *)
 
-val wireless_sender : t -> Tcp_tahoe.Tahoe_sender.t
+val wireless_sender : t -> Tcp_tahoe.Tcp_sender.t
 (** The wireless-side sender (for statistics). *)
 
 val buffered_bytes : t -> int

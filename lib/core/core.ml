@@ -70,7 +70,7 @@ module Arq_receiver = Link_arq.Arq_receiver
 module Tcp_config = Tcp_tahoe.Tcp_config
 module Rto = Tcp_tahoe.Rto
 module Tcp_stats = Tcp_tahoe.Tcp_stats
-module Tahoe_sender = Tcp_tahoe.Tahoe_sender
+module Tcp_sender = Tcp_tahoe.Tcp_sender
 module Tcp_sink = Tcp_tahoe.Tcp_sink
 module Bulk_app = Tcp_tahoe.Bulk_app
 

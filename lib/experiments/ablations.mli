@@ -38,9 +38,13 @@ val ebsn_rearm : ?replications:int -> ?jobs:int -> unit -> string
     fires before the next notification, too large lingers after
     discards. *)
 
-val flavor : ?replications:int -> ?jobs:int -> unit -> string
-(** Tahoe (the paper's TCP) vs Reno fast recovery, with and without
-    EBSN. *)
+val cc : ?replications:int -> ?jobs:int -> unit -> string
+(** Tahoe (the paper's TCP) vs Reno, NewReno, SACK and Vegas, with and
+    without EBSN. *)
+
+val cc_table : ?replications:int -> ?jobs:int -> unit -> string
+(** Goodput cross table: all six recovery schemes × all five
+    congestion-control variants on the wide-area battery. *)
 
 val delayed_ack : ?replications:int -> ?jobs:int -> unit -> string
 (** Per-segment acks (the paper's sink) vs RFC 1122 delayed acks. *)

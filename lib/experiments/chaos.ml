@@ -27,7 +27,7 @@ let wan_window = Sim_engine.Simtime.span_sec 60.0
 let lan_window = Sim_engine.Simtime.span_sec 4.0
 let lan_file_bytes = 262_144
 
-let specs ~plans ~base_seed =
+let specs ?cc ~plans ~base_seed () =
   let schemes = Scenario.all_schemes in
   let n_schemes = List.length schemes in
   List.init plans (fun index ->
@@ -38,12 +38,18 @@ let specs ~plans ~base_seed =
         if wan then Scenario.wan ~scheme ~seed ()
         else Scenario.lan ~scheme ~file_bytes:lan_file_bytes ~seed ()
       in
+      let scenario =
+        match cc with None -> scenario | Some cc -> Scenario.with_cc scenario cc
+      in
       let window = if wan then wan_window else lan_window in
       let plan = Faults.Plan.generate ~seed ~window in
       let label =
-        Printf.sprintf "%s/%s seed=%d"
+        Printf.sprintf "%s/%s%s seed=%d"
           (if wan then "wan" else "lan")
           (Scenario.scheme_name scheme)
+          (match cc with
+          | None | Some Tcp_tahoe.Tcp_config.Tahoe -> ""
+          | Some cc -> "/" ^ Tcp_tahoe.Tcp_config.cc_name cc)
           seed
       in
       { index; seed; scenario; plan; label })
@@ -86,8 +92,8 @@ let run_spec ~check spec =
       throughput_bps = 0.0;
     }
 
-let campaign ?(plans = 50) ?(base_seed = 1) ?(jobs = 1) ?(check = true) () =
-  let specs = specs ~plans ~base_seed in
+let campaign ?(plans = 50) ?(base_seed = 1) ?(jobs = 1) ?(check = true) ?cc () =
+  let specs = specs ?cc ~plans ~base_seed () in
   Sim_engine.Parallel.map ~jobs (run_spec ~check) specs
 
 let ok results =

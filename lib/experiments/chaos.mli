@@ -37,13 +37,16 @@ type run_result = {
 }
 
 val campaign :
-  ?plans:int -> ?base_seed:int -> ?jobs:int -> ?check:bool -> unit ->
+  ?plans:int -> ?base_seed:int -> ?jobs:int -> ?check:bool ->
+  ?cc:Tcp_tahoe.Tcp_config.cc -> unit ->
   run_result list
 (** Run a campaign of [plans] (default 50) seeded fault plans, seeds
     [base_seed .. base_seed+plans-1] (default from 1), fanned out over
     [jobs] domains (default 1), with invariant checking on by default.
-    Per-run exceptions are captured into {!Uncaught}, so the list
-    always has [plans] entries in spec order. *)
+    [cc] overrides every scenario's congestion-control variant
+    (default: the presets' Tahoe).  Per-run exceptions are captured
+    into {!Uncaught}, so the list always has [plans] entries in spec
+    order. *)
 
 val ok : run_result list -> bool
 (** [true] iff every run is {!Clean} — zero uncaught exceptions and

@@ -170,7 +170,7 @@ let run ?(n_conns = 2) ?(file_bytes = 51_200) ?(seed = 1) ~policy () =
   let pairs =
     Array.init n_conns (fun i ->
         let sender =
-          Tahoe_sender.create sim ~config:tcp ~conn:i ~src:fh_addr
+          Tcp_sender.create sim ~config:tcp ~conn:i ~src:fh_addr
             ~dst:(mh_addr i) ~total_bytes:file_bytes ~alloc_id
             ~transmit:(Node.send fh)
         in
@@ -188,7 +188,7 @@ let run ?(n_conns = 2) ?(file_bytes = 51_200) ?(seed = 1) ~policy () =
   Node.set_local_handler fh (fun pkt ->
       match pkt.Packet.kind with
       | Packet.Tcp_ack { ack; sack; _ } ->
-        Tahoe_sender.handle_ack ~sack (senders_by_conn pkt) ~ack
+        Tcp_sender.handle_ack ~sack (senders_by_conn pkt) ~ack
       | Packet.Tcp_data _ | Packet.Ebsn _ | Packet.Source_quench _ -> ());
   Array.iteri
     (fun i (node, _) ->
@@ -199,7 +199,7 @@ let run ?(n_conns = 2) ?(file_bytes = 51_200) ?(seed = 1) ~policy () =
           | Packet.Tcp_ack _ | Packet.Ebsn _ | Packet.Source_quench _ -> ()))
     mobiles;
 
-  Array.iter (fun (sender, _) -> Tahoe_sender.start sender) pairs;
+  Array.iter (fun (sender, _) -> Tcp_sender.start sender) pairs;
   Simulator.run ~until:(Simtime.add start_time base.Scenario.horizon) sim;
 
   let per_conn =

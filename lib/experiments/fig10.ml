@@ -1,11 +1,11 @@
-let compute ?replications ?jobs () =
-  ( Lan_sweep.compute ?replications ?jobs ~scheme:Topology.Scenario.Basic
+let compute ?replications ?jobs ?cc () =
+  ( Lan_sweep.compute ?replications ?jobs ?cc ~scheme:Topology.Scenario.Basic
       ~metric:Sweep.throughput (),
-    Lan_sweep.compute ?replications ?jobs ~scheme:Topology.Scenario.Ebsn
+    Lan_sweep.compute ?replications ?jobs ?cc ~scheme:Topology.Scenario.Ebsn
       ~metric:Sweep.throughput () )
 
-let render ?replications ?jobs () =
-  let basic, ebsn = compute ?replications ?jobs () in
+let render ?replications ?jobs ?cc () =
+  let basic, ebsn = compute ?replications ?jobs ?cc () in
   let improvement =
     List.map2
       (fun (b : Lan_sweep.point) (e : Lan_sweep.point) ->

@@ -5,8 +5,13 @@
     theoretical maximum closely (goodput with EBSN is 100%). *)
 
 val compute :
-  ?replications:int -> ?jobs:int -> unit -> Lan_sweep.series * Lan_sweep.series
+  ?replications:int ->
+  ?jobs:int ->
+  ?cc:Tcp_tahoe.Tcp_config.cc ->
+  unit ->
+  Lan_sweep.series * Lan_sweep.series
 (** (basic, ebsn) throughput series. *)
 
-val render : ?replications:int -> ?jobs:int -> unit -> string
+val render :
+  ?replications:int -> ?jobs:int -> ?cc:Tcp_tahoe.Tcp_config.cc -> unit -> string
 (** The table plus the peak-improvement headline. *)

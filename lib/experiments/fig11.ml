@@ -1,11 +1,11 @@
-let compute ?replications ?jobs () =
-  ( Lan_sweep.compute ?replications ?jobs ~scheme:Topology.Scenario.Basic
+let compute ?replications ?jobs ?cc () =
+  ( Lan_sweep.compute ?replications ?jobs ?cc ~scheme:Topology.Scenario.Basic
       ~metric:Sweep.retransmitted_kbytes (),
-    Lan_sweep.compute ?replications ?jobs ~scheme:Topology.Scenario.Ebsn
+    Lan_sweep.compute ?replications ?jobs ?cc ~scheme:Topology.Scenario.Ebsn
       ~metric:Sweep.retransmitted_kbytes () )
 
-let render ?replications ?jobs () =
-  let basic, ebsn = compute ?replications ?jobs () in
+let render ?replications ?jobs ?cc () =
+  let basic, ebsn = compute ?replications ?jobs ?cc () in
   Lan_sweep.render_metric
     ~title:
       "Figure 11 — Local area: data retransmitted vs mean bad-period length"

@@ -6,7 +6,12 @@
     its goodput is 100%. *)
 
 val compute :
-  ?replications:int -> ?jobs:int -> unit -> Lan_sweep.series * Lan_sweep.series
+  ?replications:int ->
+  ?jobs:int ->
+  ?cc:Tcp_tahoe.Tcp_config.cc ->
+  unit ->
+  Lan_sweep.series * Lan_sweep.series
 (** (basic, ebsn) retransmitted-Kbytes series. *)
 
-val render : ?replications:int -> ?jobs:int -> unit -> string
+val render :
+  ?replications:int -> ?jobs:int -> ?cc:Tcp_tahoe.Tcp_config.cc -> unit -> string

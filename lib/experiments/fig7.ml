@@ -1,5 +1,5 @@
-let compute ?replications ?jobs () =
-  Wan_sweep.compute ?replications ?jobs ~scheme:Topology.Scenario.Basic
+let compute ?replications ?jobs ?cc () =
+  Wan_sweep.compute ?replications ?jobs ?cc ~scheme:Topology.Scenario.Basic
     ~metric:Sweep.throughput ()
 
 let headline series_list =
@@ -20,8 +20,8 @@ let headline series_list =
         (100.0 *. ((best_tput /. at_1536) -. 1.0)))
     series_list
 
-let render ?replications ?jobs () =
-  let series_list = compute ?replications ?jobs () in
+let render ?replications ?jobs ?cc () =
+  let series_list = compute ?replications ?jobs ?cc () in
   String.concat "\n"
     (Wan_sweep.render_throughput
        ~title:"Figure 7 — Basic TCP (wide area): throughput vs packet size"

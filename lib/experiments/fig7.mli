@@ -6,9 +6,15 @@
     over 1536 B gains about 30%; even the optimum stays well below
     tput_th (8.7 vs 11.8 kbit/s at bad = 1 s). *)
 
-val compute : ?replications:int -> ?jobs:int -> unit -> Wan_sweep.series list
+val compute :
+  ?replications:int ->
+  ?jobs:int ->
+  ?cc:Tcp_tahoe.Tcp_config.cc ->
+  unit ->
+  Wan_sweep.series list
 (** Mean throughput per packet size and bad-period length. *)
 
-val render : ?replications:int -> ?jobs:int -> unit -> string
+val render :
+  ?replications:int -> ?jobs:int -> ?cc:Tcp_tahoe.Tcp_config.cc -> unit -> string
 (** The table plus derived headline numbers (optimal size and its
     gain over 1536 B). *)

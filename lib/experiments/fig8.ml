@@ -1,5 +1,5 @@
-let compute ?replications ?jobs () =
-  Wan_sweep.compute ?replications ?jobs ~scheme:Topology.Scenario.Ebsn
+let compute ?replications ?jobs ?cc () =
+  Wan_sweep.compute ?replications ?jobs ?cc ~scheme:Topology.Scenario.Ebsn
     ~metric:Sweep.throughput ()
 
 let mean_at series size =
@@ -8,11 +8,11 @@ let mean_at series size =
   in
   cell.Wan_sweep.summary.Metrics.Summary.mean
 
-let render ?replications ?jobs () =
-  let series_list = compute ?replications ?jobs () in
+let render ?replications ?jobs ?cc () =
+  let series_list = compute ?replications ?jobs ?cc () in
   (* The paper's headline: 100% improvement at 1536 B, bad = 4 s. *)
   let basic_1536 =
-    Wan_sweep.compute ?replications ?jobs ~packet_sizes:[ 1536 ]
+    Wan_sweep.compute ?replications ?jobs ?cc ~packet_sizes:[ 1536 ]
       ~bad_periods_sec:[ 4.0 ] ~scheme:Topology.Scenario.Basic
       ~metric:Sweep.throughput ()
   in

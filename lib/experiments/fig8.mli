@@ -5,10 +5,16 @@
     and approaches tput_th for large packets (9.0 kbit/s at 1536 B,
     bad = 4 s: a 100% improvement over basic TCP's 4.5 kbit/s). *)
 
-val compute : ?replications:int -> ?jobs:int -> unit -> Wan_sweep.series list
+val compute :
+  ?replications:int ->
+  ?jobs:int ->
+  ?cc:Tcp_tahoe.Tcp_config.cc ->
+  unit ->
+  Wan_sweep.series list
 (** Mean throughput per packet size and bad-period length, scheme
     EBSN. *)
 
-val render : ?replications:int -> ?jobs:int -> unit -> string
+val render :
+  ?replications:int -> ?jobs:int -> ?cc:Tcp_tahoe.Tcp_config.cc -> unit -> string
 (** The table plus the 1536-byte EBSN-vs-basic improvement
     headline. *)

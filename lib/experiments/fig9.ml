@@ -1,12 +1,12 @@
-let compute_basic ?replications ?jobs () =
-  Wan_sweep.compute ?replications ?jobs ~scheme:Topology.Scenario.Basic
+let compute_basic ?replications ?jobs ?cc () =
+  Wan_sweep.compute ?replications ?jobs ?cc ~scheme:Topology.Scenario.Basic
     ~metric:Sweep.retransmitted_kbytes ()
 
-let compute_ebsn ?replications ?jobs () =
-  Wan_sweep.compute ?replications ?jobs ~scheme:Topology.Scenario.Ebsn
+let compute_ebsn ?replications ?jobs ?cc () =
+  Wan_sweep.compute ?replications ?jobs ?cc ~scheme:Topology.Scenario.Ebsn
     ~metric:Sweep.retransmitted_kbytes ()
 
-let render ?replications ?jobs () =
+let render ?replications ?jobs ?cc () =
   String.concat "\n\n"
     [
       Wan_sweep.render_metric
@@ -15,10 +15,10 @@ let render ?replications ?jobs () =
           "paper: grows with packet size and bad period, tens of Kbytes \
            of a 100 KB transfer"
         ~unit_label:"Kbytes retransmitted by the source (mean)"
-        (compute_basic ?replications ?jobs ());
+        (compute_basic ?replications ?jobs ?cc ());
       Wan_sweep.render_metric
         ~title:"Figure 9b — TCP with EBSN (wide area): data retransmitted"
         ~note:"paper: near zero at every packet size (no timeouts)"
         ~unit_label:"Kbytes retransmitted by the source (mean)"
-        (compute_ebsn ?replications ?jobs ());
+        (compute_ebsn ?replications ?jobs ?cc ());
     ]

@@ -6,8 +6,20 @@
     100 KB transfer); with EBSN timeouts disappear and retransmission
     volume collapses to near zero at every packet size. *)
 
-val compute_basic : ?replications:int -> ?jobs:int -> unit -> Wan_sweep.series list
-val compute_ebsn : ?replications:int -> ?jobs:int -> unit -> Wan_sweep.series list
+val compute_basic :
+  ?replications:int ->
+  ?jobs:int ->
+  ?cc:Tcp_tahoe.Tcp_config.cc ->
+  unit ->
+  Wan_sweep.series list
 
-val render : ?replications:int -> ?jobs:int -> unit -> string
+val compute_ebsn :
+  ?replications:int ->
+  ?jobs:int ->
+  ?cc:Tcp_tahoe.Tcp_config.cc ->
+  unit ->
+  Wan_sweep.series list
+
+val render :
+  ?replications:int -> ?jobs:int -> ?cc:Tcp_tahoe.Tcp_config.cc -> unit -> string
 (** Both tables (Kbytes retransmitted). *)

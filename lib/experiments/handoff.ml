@@ -30,7 +30,7 @@ let mh_addr = Address.make 3
 type attachment = { mutable current : int option }
 
 let run ?(file_bytes = 51_200) ?(residence_sec = 8.0) ?(blackout_sec = 0.5)
-    ?(seed = 1) ~policy () =
+    ?(seed = 1) ?cc ~policy () =
   let base = Scenario.wan () in
   let sim = Simulator.create ~seed () in
   let packet_ids = Ids.create () in
@@ -38,7 +38,11 @@ let run ?(file_bytes = 51_200) ?(residence_sec = 8.0) ?(blackout_sec = 0.5)
   let frame_ids = Ids.create () in
   (* Whole packets on the air: handoffs, not fragmentation, are under
      study here. *)
-  let tcp = base.Scenario.tcp in
+  let tcp =
+    match cc with
+    | None -> base.Scenario.tcp
+    | Some cc -> { base.Scenario.tcp with Tcp_config.cc }
+  in
 
   let fh = Node.create sim ~name:"fh" ~addr:fh_addr in
   let mh = Node.create sim ~name:"mh" ~addr:mh_addr in
@@ -147,7 +151,7 @@ let run ?(file_bytes = 51_200) ?(residence_sec = 8.0) ?(blackout_sec = 0.5)
 
   (* Transport. *)
   let sender =
-    Tahoe_sender.create sim ~config:tcp ~conn:0 ~src:fh_addr ~dst:mh_addr
+    Tcp_sender.create sim ~config:tcp ~conn:0 ~src:fh_addr ~dst:mh_addr
       ~total_bytes:file_bytes ~alloc_id ~transmit:(Node.send fh)
   in
   let sink =
@@ -158,7 +162,7 @@ let run ?(file_bytes = 51_200) ?(residence_sec = 8.0) ?(blackout_sec = 0.5)
   Node.set_local_handler fh (fun pkt ->
       match pkt.Packet.kind with
       | Packet.Tcp_ack { ack; sack; _ } ->
-        Tahoe_sender.handle_ack ~sack sender ~ack
+        Tcp_sender.handle_ack ~sack sender ~ack
       | Packet.Tcp_data _ | Packet.Ebsn _ | Packet.Source_quench _ -> ());
 
   (* Mobility: leave the current cell every [residence_sec]; re-attach
@@ -195,10 +199,10 @@ let run ?(file_bytes = 51_200) ?(residence_sec = 8.0) ?(blackout_sec = 0.5)
 
   let start_time = Simulator.now sim in
   Tcp_sink.set_on_complete sink (fun () -> Simulator.stop sim);
-  Tahoe_sender.start sender;
+  Tcp_sender.start sender;
   Simulator.run ~until:(Simtime.add start_time base.Scenario.horizon) sim;
 
-  let stats = Tahoe_sender.stats sender in
+  let stats = Tcp_sender.stats sender in
   match Tcp_sink.completion_time sink with
   | Some finish ->
     let duration = Simtime.diff finish start_time in
@@ -223,7 +227,7 @@ let run ?(file_bytes = 51_200) ?(residence_sec = 8.0) ?(blackout_sec = 0.5)
       completed = false;
     }
 
-let render ?(seeds = [ 1; 2; 3; 4; 5 ]) ?(jobs = 1) () =
+let render ?(seeds = [ 1; 2; 3; 4; 5 ]) ?(jobs = 1) ?cc () =
   let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
   let variants =
     [
@@ -242,7 +246,8 @@ let render ?(seeds = [ 1; 2; 3; 4; 5 ]) ?(jobs = 1) () =
     Sim_engine.Parallel.map_array ~jobs
       (fun i ->
         let policy, blackout = variants_arr.(i / n_seeds) in
-        run ~seed:seeds_arr.(i mod n_seeds) ~blackout_sec:blackout ~policy ())
+        run ?cc ~seed:seeds_arr.(i mod n_seeds) ~blackout_sec:blackout ~policy
+          ())
       (Array.init (Array.length variants_arr * n_seeds) Fun.id)
   in
   let row v (policy, blackout) =

@@ -39,14 +39,17 @@ val run :
   ?residence_sec:float ->
   ?blackout_sec:float ->
   ?seed:int ->
+  ?cc:Tcp_tahoe.Tcp_config.cc ->
   policy:policy ->
   unit ->
   result
 (** One transfer across periodic handoffs.  Defaults: 50 KB file,
-    8 s cell residence, 0.5 s blackout.  The wireless channels are
-    error-free so handoffs are the only loss source. *)
+    8 s cell residence, 0.5 s blackout, Tahoe.  The wireless channels
+    are error-free so handoffs are the only loss source. *)
 
-val render : ?seeds:int list -> ?jobs:int -> unit -> string
+val render :
+  ?seeds:int list -> ?jobs:int -> ?cc:Tcp_tahoe.Tcp_config.cc -> unit -> string
 (** Comparison table over several seeds and blackout lengths.
     [jobs] fans the (variant × seed) grid out across the persistent
-    domain pool; the table is identical at any [jobs]. *)
+    domain pool; the table is identical at any [jobs].  [cc] selects
+    the source's congestion control (default Tahoe). *)

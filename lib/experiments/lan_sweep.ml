@@ -5,13 +5,17 @@ type series = { scheme : Scenario.scheme; points : point list }
 
 let bad_periods_sec = [ 0.4; 0.6; 0.8; 1.0; 1.2; 1.4; 1.6 ]
 
-let compute ?replications ?jobs ?(bad_periods_sec = bad_periods_sec) ~scheme
-    ~metric () =
+let compute ?replications ?jobs ?cc ?(bad_periods_sec = bad_periods_sec)
+    ~scheme ~metric () =
+  let apply_cc s =
+    match cc with None -> s | Some cc -> Scenario.with_cc s cc
+  in
   (* One flat (bad period × seed) job list over a single domain pool. *)
   let summaries =
     Sweep.replicate_all ?replications ?jobs
       (List.map
-         (fun bad_sec -> Scenario.lan ~scheme ~mean_bad_sec:bad_sec ())
+         (fun bad_sec ->
+           apply_cc (Scenario.lan ~scheme ~mean_bad_sec:bad_sec ()))
          bad_periods_sec)
       ~metric
   in

@@ -13,13 +13,15 @@ val bad_periods_sec : float list
 val compute :
   ?replications:int ->
   ?jobs:int ->
+  ?cc:Tcp_tahoe.Tcp_config.cc ->
   ?bad_periods_sec:float list ->
   scheme:Topology.Scenario.scheme ->
   metric:(Run.measurement -> float) ->
   unit ->
   series
 (** [jobs] parallelises the replications of each point without
-    changing any value. *)
+    changing any value.  [cc] overrides the source's
+    congestion-control variant (default: the preset's Tahoe). *)
 
 val render_throughput : title:string -> note:string -> series list -> string
 (** Mbit/s per bad-period length, one column per scheme, plus the

@@ -8,8 +8,11 @@ let packet_sizes =
 
 let bad_periods_sec = [ 1.0; 2.0; 3.0; 4.0 ]
 
-let compute ?replications ?jobs ?(packet_sizes = packet_sizes)
+let compute ?replications ?jobs ?cc ?(packet_sizes = packet_sizes)
     ?(bad_periods_sec = bad_periods_sec) ~scheme ~metric () =
+  let apply_cc s =
+    match cc with None -> s | Some cc -> Scenario.with_cc s cc
+  in
   (* The whole (bad period × packet size × seed) matrix is one flat
      job list over a single domain pool. *)
   let points =
@@ -18,8 +21,9 @@ let compute ?replications ?jobs ?(packet_sizes = packet_sizes)
         List.map
           (fun size ->
             ( (bad_sec, size),
-              Scenario.wan ~scheme ~packet_size:size ~mean_bad_sec:bad_sec ()
-            ))
+              apply_cc
+                (Scenario.wan ~scheme ~packet_size:size ~mean_bad_sec:bad_sec
+                   ()) ))
           packet_sizes)
       bad_periods_sec
   in

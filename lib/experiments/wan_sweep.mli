@@ -17,6 +17,7 @@ val bad_periods_sec : float list
 val compute :
   ?replications:int ->
   ?jobs:int ->
+  ?cc:Tcp_tahoe.Tcp_config.cc ->
   ?packet_sizes:int list ->
   ?bad_periods_sec:float list ->
   scheme:Topology.Scenario.scheme ->
@@ -24,7 +25,9 @@ val compute :
   unit ->
   series list
 (** One series per bad-period length.  [jobs] parallelises the
-    replications of each point without changing any value. *)
+    replications of each point without changing any value.  [cc]
+    overrides the source's congestion-control variant (default:
+    the preset's Tahoe). *)
 
 val render_throughput :
   title:string -> note:string -> series list -> string

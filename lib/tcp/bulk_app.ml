@@ -25,7 +25,7 @@ let result ~config ~sender ~sink ~file_bytes ~start_time =
   | None -> invalid_arg "Bulk_app.result: transfer not complete"
   | Some finish_time ->
     let duration = Simtime.diff finish_time start_time in
-    let sender_stats = Tahoe_sender.stats sender in
+    let sender_stats = Tcp_sender.stats sender in
     {
       file_bytes;
       start_time;

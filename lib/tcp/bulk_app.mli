@@ -1,6 +1,6 @@
 (** Bulk-transfer application: one file, one connection.
 
-    Pairs a {!Tahoe_sender} at the fixed host with a {!Tcp_sink} at
+    Pairs a {!Tcp_sender} at the fixed host with a {!Tcp_sink} at
     the mobile host and computes the paper's two metrics when the
     transfer finishes. *)
 
@@ -28,7 +28,7 @@ val throughput_bps :
 
 val result :
   config:Tcp_config.t ->
-  sender:Tahoe_sender.t ->
+  sender:Tcp_sender.t ->
   sink:Tcp_sink.t ->
   file_bytes:int ->
   start_time:Sim_engine.Simtime.t ->

@@ -1,0 +1,40 @@
+(* The paper's sender (4.4BSD Tahoe): fast retransmit exists, fast
+   recovery does not — the third duplicate ack triggers the same
+   collapse-and-go-back-N as a timeout, just without waiting for the
+   timer.  [in_recovery] therefore never holds between events; the
+   branches below keep the shell's dispatch uniform across variants. *)
+
+let make (host : Cc.host) =
+  let st = host.Cc.state in
+  let cfg = host.Cc.cfg in
+  Cc.
+    {
+      kind = Tcp_config.Tahoe;
+      uses_scoreboard = false;
+      on_new_ack =
+        (fun ~ack:_ ->
+          if st.in_recovery then begin
+            st.in_recovery <- false;
+            st.cwnd <- float_of_int st.ssthresh
+          end
+          else grow_cwnd host);
+      on_dupack =
+        (fun ~ack:_ ->
+          if st.in_recovery then begin
+            st.cwnd <- st.cwnd +. float_of_int cfg.Tcp_config.mss;
+            host.send_window ()
+          end
+          else if
+            st.dupacks = cfg.Tcp_config.dupack_threshold
+            && host.snd_una () > st.recover
+          then begin
+            host.stats.Tcp_stats.fast_retransmits <-
+              host.stats.Tcp_stats.fast_retransmits + 1;
+            collapse host;
+            host.arm_rto ();
+            host.send_window ()
+          end);
+      on_timeout = (fun () -> collapse host);
+      on_rtt_sample = (fun ~rtt_ticks:_ ~rtt_ns:_ -> ());
+      diag = (fun () -> []);
+    }

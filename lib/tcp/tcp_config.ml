@@ -1,14 +1,24 @@
 open Sim_engine
 
-type flavor = Tahoe | Reno | Sack
+type cc = Tahoe | Reno | Newreno | Sack | Vegas
 
-let flavor_name = function Tahoe -> "tahoe" | Reno -> "reno" | Sack -> "sack"
+let cc_name = function
+  | Tahoe -> "tahoe"
+  | Reno -> "reno"
+  | Newreno -> "newreno"
+  | Sack -> "sack"
+  | Vegas -> "vegas"
+
+let all_ccs = [ Tahoe; Reno; Newreno; Sack; Vegas ]
+
+let cc_of_name s = List.find_opt (fun cc -> cc_name cc = s) all_ccs
 
 type t = {
-  flavor : flavor;
+  cc : cc;
   mss : int;
   header_bytes : int;
   window : int;
+  initial_ssthresh : int option;
   tick : Simtime.span;
   min_rto_ticks : int;
   max_rto_ticks : int;
@@ -18,14 +28,18 @@ type t = {
   delayed_ack : bool;
   delayed_ack_timeout : Simtime.span;
   ebsn_rearm_scale : float;
+  vegas_alpha : int;
+  vegas_beta : int;
+  vegas_gamma : int;
 }
 
 let default =
   {
-    flavor = Tahoe;
+    cc = Tahoe;
     mss = 536;
     header_bytes = 40;
     window = 4096;
+    initial_ssthresh = None;
     tick = Simtime.span_ms 100;
     min_rto_ticks = 2;
     max_rto_ticks = 640;
@@ -35,6 +49,9 @@ let default =
     delayed_ack = false;
     delayed_ack_timeout = Simtime.span_ms 200;
     ebsn_rearm_scale = 1.0;
+    vegas_alpha = 2;
+    vegas_beta = 4;
+    vegas_gamma = 1;
   }
 
 let with_packet_size cfg bytes =
@@ -44,10 +61,17 @@ let with_packet_size cfg bytes =
 
 let packet_size cfg = cfg.mss + cfg.header_bytes
 
+let initial_ssthresh_bytes cfg =
+  match cfg.initial_ssthresh with Some bytes -> bytes | None -> cfg.window
+
 let validate cfg =
   if cfg.mss <= 0 then invalid_arg "Tcp_config: mss <= 0";
   if cfg.header_bytes < 0 then invalid_arg "Tcp_config: negative header";
   if cfg.window < cfg.mss then invalid_arg "Tcp_config: window below mss";
+  (match cfg.initial_ssthresh with
+  | Some bytes when bytes < 2 * cfg.mss ->
+    invalid_arg "Tcp_config: initial ssthresh below two segments"
+  | Some _ | None -> ());
   if Simtime.span_compare cfg.tick Simtime.span_zero <= 0 then
     invalid_arg "Tcp_config: tick must be positive";
   if cfg.min_rto_ticks < 1 then invalid_arg "Tcp_config: min_rto < 1 tick";
@@ -61,4 +85,8 @@ let validate cfg =
   if Simtime.span_compare cfg.delayed_ack_timeout Simtime.span_zero <= 0 then
     invalid_arg "Tcp_config: delayed-ack timeout must be positive";
   if not (Float.is_finite cfg.ebsn_rearm_scale) || cfg.ebsn_rearm_scale <= 0.0
-  then invalid_arg "Tcp_config: ebsn_rearm_scale must be positive"
+  then invalid_arg "Tcp_config: ebsn_rearm_scale must be positive";
+  if cfg.vegas_alpha < 1 then invalid_arg "Tcp_config: vegas_alpha < 1";
+  if cfg.vegas_beta < cfg.vegas_alpha then
+    invalid_arg "Tcp_config: vegas_beta below vegas_alpha";
+  if cfg.vegas_gamma < 1 then invalid_arg "Tcp_config: vegas_gamma < 1"

@@ -4,21 +4,39 @@
     header, 100 ms clock granularity, segment sizes swept from 128 to
     1536 bytes. *)
 
-type flavor =
+type cc =
   | Tahoe  (** loss → slow start from one segment (the paper's TCP) *)
   | Reno  (** fast retransmit + fast recovery (halve, inflate, deflate) *)
+  | Newreno
+      (** Reno plus RFC 3782 partial-ack handling: a partial ack
+          retransmits the next hole and keeps the sender in recovery
+          until the whole pre-loss window is acknowledged *)
   | Sack
       (** selective acknowledgements (RFC 2018): during recovery only
           the holes the receiver reports missing are retransmitted *)
+  | Vegas
+      (** delay-based (Brakmo & Peterson): baseRTT/minRTT estimation,
+          cwnd adjusted once per RTT to keep the backlog inside the
+          [alpha, beta] segment band *)
 
-val flavor_name : flavor -> string
-(** ["tahoe"], ["reno"] or ["sack"]. *)
+val cc_name : cc -> string
+(** ["tahoe"], ["reno"], ["newreno"], ["sack"] or ["vegas"]. *)
+
+val cc_of_name : string -> cc option
+(** Inverse of {!cc_name}. *)
+
+val all_ccs : cc list
+(** Every variant, in declaration order. *)
 
 type t = {
-  flavor : flavor;  (** congestion-control variant *)
+  cc : cc;  (** congestion-control variant *)
   mss : int;  (** maximum segment size: payload bytes per packet *)
   header_bytes : int;  (** TCP/IP header bytes per packet (40) *)
   window : int;  (** receiver advertised window, in payload bytes *)
+  initial_ssthresh : int option;
+      (** slow-start threshold before the first loss; [None] (the
+          default, and 4.4BSD's behaviour at our window sizes) starts
+          it at the advertised window *)
   tick : Sim_engine.Simtime.span;  (** timer/clock granularity *)
   min_rto_ticks : int;  (** lower bound on the retransmission timeout *)
   max_rto_ticks : int;  (** upper bound on the retransmission timeout *)
@@ -38,12 +56,22 @@ type t = {
           footnote warns that a very large value risks deadlock and a
           very small one times out before the next EBSN arrives — the
           [ablation-rearm] bench quantifies both. *)
+  vegas_alpha : int;
+      (** Vegas: grow cwnd when the estimated backlog is below this
+          many segments (Brakmo & Peterson use 2) *)
+  vegas_beta : int;
+      (** Vegas: shrink cwnd when the backlog exceeds this many
+          segments (4) *)
+  vegas_gamma : int;
+      (** Vegas: leave slow start once the backlog exceeds this many
+          segments (1) *)
 }
 
 val default : t
 (** The paper's wide-area parameters: Tahoe, [mss = 536] (576-byte packets),
     4 KB window, 100 ms tick, RTO in [2, 640] ticks starting at 30,
-    dup-ack threshold 3, backoff cap 64. *)
+    dup-ack threshold 3, backoff cap 64, initial ssthresh = window,
+    Vegas band (2, 4) with gamma 1. *)
 
 val with_packet_size : t -> int -> t
 (** [with_packet_size cfg bytes] sets [mss] so that the network-layer
@@ -52,6 +80,9 @@ val with_packet_size : t -> int -> t
 
 val packet_size : t -> int
 (** [mss + header_bytes]. *)
+
+val initial_ssthresh_bytes : t -> int
+(** [initial_ssthresh] or, when [None], the advertised window. *)
 
 val validate : t -> unit
 (** @raise Invalid_argument if any field is out of range. *)

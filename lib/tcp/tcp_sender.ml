@@ -1,6 +1,11 @@
 open Sim_engine
 open Netsim
 
+(* The transport shell: send window, sequencing, retransmission timer,
+   RTT sampling and observability.  Everything congestion-control —
+   cwnd/ssthresh accounting and the reaction to acks, duplicate acks
+   and timeouts — lives behind [policy] (see {!Cc}), installed by
+   [create] from [cfg.cc]. *)
 type t = {
   sim : Simulator.t;
   cfg : Tcp_config.t;
@@ -12,15 +17,12 @@ type t = {
   transmit : Packet.t -> unit;
   stats : Tcp_stats.t;
   rto_state : Rto.t;
+  cc_state : Cc.state;
+  mutable policy : Cc.policy;  (* installed once, by [create] *)
   mutable snd_una : int;
   mutable snd_nxt : int;
   mutable max_sent : int;  (* bytes [0, max_sent) have been sent at least once *)
   mutable available : int;  (* bytes [0, available) exist at the application *)
-  mutable cwnd : float;  (* bytes *)
-  mutable ssthresh : int;  (* bytes *)
-  mutable dupacks : int;
-  mutable recover : int;  (* highest byte sent when loss recovery last began *)
-  mutable in_fast_recovery : bool;  (* Reno and Sack *)
   mutable sacked : (int * int) list;  (* receiver-reported blocks, merged *)
   mutable hole_cursor : int;  (* next byte to consider for hole retransmission *)
   mutable timing : (int * Simtime.t) option;  (* (first byte, send time) *)
@@ -53,12 +55,16 @@ let set_on_timeout t f = t.on_timeout_hook <- Some f
 let stats t = t.stats
 let snd_una t = t.snd_una
 let snd_nxt t = t.snd_nxt
-let cwnd_bytes t = int_of_float t.cwnd
-let ssthresh_bytes t = t.ssthresh
+let cwnd_bytes t = int_of_float t.cc_state.Cc.cwnd
+let ssthresh_bytes t = t.cc_state.Cc.ssthresh
 let rto t = t.rto_state
 let completed t = t.is_complete
 
-let in_fast_recovery t = t.in_fast_recovery
+let cc t = t.policy.Cc.kind
+let cc_name t = Tcp_config.cc_name t.policy.Cc.kind
+let in_fast_recovery t = t.cc_state.Cc.in_recovery
+let recovery_entries t = t.cc_state.Cc.recovery_entries
+let cc_diag t = t.policy.Cc.diag ()
 let timer_pending t = Soft_timer.is_armed t.timer
 let timer_counters t = t.timer_counters
 
@@ -81,7 +87,7 @@ let rec arm_timer t ~ticks =
   Soft_timer.arm_after t.timer ~delay
 
 and effective_window t =
-  Stdlib.min (int_of_float t.cwnd) t.cfg.window
+  Stdlib.min (int_of_float t.cc_state.Cc.cwnd) t.cfg.window
 
 and emit_segment t ~seq ~len =
   let is_retransmit = seq < t.max_sent in
@@ -107,14 +113,14 @@ and emit_segment t ~seq ~len =
   else if
     match t.timing with None -> true | Some _ -> false
   then t.timing <- Some (seq, Simulator.now t.sim);
-  Obs.Registry.observe t.cwnd_hist t.cwnd;
+  Obs.Registry.observe t.cwnd_hist t.cc_state.Cc.cwnd;
   if Obs.Trace.enabled t.obs_trace then
     trace_emit t ~ev:"send"
       [
         ("seq", Obs.Jsonl.Int seq);
         ("len", Obs.Jsonl.Int len);
         ("retx", Obs.Jsonl.Bool is_retransmit);
-        ("cwnd", Obs.Jsonl.Int (int_of_float t.cwnd));
+        ("cwnd", Obs.Jsonl.Int (int_of_float t.cc_state.Cc.cwnd));
       ];
   (match t.on_send with Some f -> f pkt | None -> ());
   t.transmit pkt
@@ -149,92 +155,9 @@ and on_timeout t =
      estimate is only refreshed by an ack of a non-retransmitted
      packet, which Karn's rule already guarantees. *)
   Rto.backoff t.rto_state;
-  enter_loss_recovery t;
+  t.policy.Cc.on_timeout ();
   arm_timer t ~ticks:(Rto.current_ticks t.rto_state);
   send_window t
-
-(* Tahoe loss reaction: ssthresh to half the flight, window to one
-   segment, go-back-N from the last cumulative ack. *)
-and enter_loss_recovery t =
-  let flight = Stdlib.min (effective_window t) (t.snd_nxt - t.snd_una) in
-  t.ssthresh <- Stdlib.max (2 * t.cfg.mss) (flight / 2);
-  t.cwnd <- float_of_int t.cfg.mss;
-  t.dupacks <- 0;
-  t.recover <- t.max_sent;
-  t.in_fast_recovery <- false;
-  (* A timeout invalidates the scoreboard (conservative, RFC 2018 §8). *)
-  t.sacked <- [];
-  t.timing <- None;
-  t.snd_nxt <- t.snd_una
-
-(* Defined after the [arm_timer .. on_timeout] chain so the timer's
-   callback can be bound once, here, instead of allocating a closure
-   per rearm. *)
-let create sim ~config ~conn ~src ~dst ~total_bytes ~alloc_id ~transmit =
-  Tcp_config.validate config;
-  if total_bytes <= 0 then invalid_arg "Tahoe_sender.create: nothing to send";
-  let timer_counters = Soft_timer.create_counters () in
-  let t =
-    {
-      sim;
-      cfg = config;
-      conn;
-      src;
-      dst;
-      total = total_bytes;
-      alloc_id;
-      transmit;
-      stats = Tcp_stats.create ();
-      rto_state =
-        Rto.create ~initial_ticks:config.initial_rto_ticks
-          ~min_ticks:config.min_rto_ticks ~max_ticks:config.max_rto_ticks
-          ~max_backoff:config.max_backoff;
-      snd_una = 0;
-      snd_nxt = 0;
-      max_sent = 0;
-      available = total_bytes;
-      cwnd = float_of_int config.mss;
-      ssthresh = config.window;
-      dupacks = 0;
-      recover = -1;
-      in_fast_recovery = false;
-      sacked = [];
-      hole_cursor = 0;
-      timing = None;
-      timer = Soft_timer.create sim ~counters:timer_counters ignore;
-      timer_counters;
-      timer_ticks = 0;
-      is_complete = false;
-      on_complete = None;
-      on_send = None;
-      on_timeout_hook = None;
-      obs_trace = Obs.Trace.disabled;
-      rtt_hist = Obs.Registry.histogram Obs.Registry.disabled "tcp.rtt_ticks";
-      cwnd_hist = Obs.Registry.histogram Obs.Registry.disabled "tcp.cwnd_bytes";
-    }
-  in
-  Soft_timer.set_callback t.timer (fun () -> on_timeout t);
-  t
-
-let grow_cwnd t =
-  let mss = float_of_int t.cfg.mss in
-  if t.cwnd < float_of_int t.ssthresh then t.cwnd <- t.cwnd +. mss
-  else t.cwnd <- t.cwnd +. (mss *. mss /. t.cwnd);
-  (* No point growing past what the receiver will ever grant. *)
-  t.cwnd <- Stdlib.min t.cwnd (float_of_int (4 * t.cfg.window))
-
-let complete t =
-  if not t.is_complete then begin
-    t.is_complete <- true;
-    cancel_timer t;
-    if Obs.Trace.enabled t.obs_trace then
-      trace_emit t ~ev:"complete" [ ("total", Obs.Jsonl.Int t.total) ];
-    match t.on_complete with Some f -> f () | None -> ()
-  end
-
-let elapsed_ticks t since =
-  let ns = Simtime.span_to_ns (Simtime.diff (Simulator.now t.sim) since) in
-  1 + (ns / Simtime.span_to_ns t.cfg.tick)
 
 (* Merge a receiver-reported block into the scoreboard (sorted,
    disjoint). *)
@@ -283,71 +206,125 @@ let retransmit_hole t =
       true
     end
 
-(* Tahoe: collapse to one segment and go-back-N.  Reno: retransmit the
-   missing segment only and enter fast recovery (RFC 2581): ssthresh =
-   flight/2, cwnd inflated by one segment per further duplicate ack,
-   deflated to ssthresh when new data is acknowledged.  Sack: enter
-   recovery like Reno but use the scoreboard to retransmit exactly the
-   holes, one per arriving ack (RFC 2018/6675, simplified). *)
-let fast_retransmit t =
-  t.stats.Tcp_stats.fast_retransmits <- t.stats.Tcp_stats.fast_retransmits + 1;
-  match t.cfg.flavor with
-  | Tcp_config.Tahoe ->
-    enter_loss_recovery t;
-    arm_timer t ~ticks:(Rto.current_ticks t.rto_state);
-    send_window t
-  | Tcp_config.Reno ->
-    let flight = Stdlib.min (effective_window t) (t.snd_nxt - t.snd_una) in
-    t.ssthresh <- Stdlib.max (2 * t.cfg.mss) (flight / 2);
-    t.recover <- t.max_sent;
-    t.in_fast_recovery <- true;
-    t.timing <- None;
-    let len = Stdlib.min t.cfg.mss (t.total - t.snd_una) in
-    emit_segment t ~seq:t.snd_una ~len;
-    t.cwnd <- float_of_int (t.ssthresh + (3 * t.cfg.mss));
-    arm_timer t ~ticks:(Rto.current_ticks t.rto_state)
-  | Tcp_config.Sack ->
-    let flight = Stdlib.min (effective_window t) (t.snd_nxt - t.snd_una) in
-    t.ssthresh <- Stdlib.max (2 * t.cfg.mss) (flight / 2);
-    t.recover <- t.max_sent;
-    t.in_fast_recovery <- true;
-    t.timing <- None;
-    t.hole_cursor <- t.snd_una;
-    t.cwnd <- float_of_int t.ssthresh;
-    if not (retransmit_hole t) then begin
-      let len = Stdlib.min t.cfg.mss (t.total - t.snd_una) in
-      emit_segment t ~seq:t.snd_una ~len
-    end;
-    arm_timer t ~ticks:(Rto.current_ticks t.rto_state)
+(* Placeholder installed at record construction; [create] replaces it
+   before the sender is reachable, the same late-binding trick as
+   [Soft_timer.set_callback]. *)
+let unset_policy : Cc.policy =
+  {
+    Cc.kind = Tcp_config.Tahoe;
+    uses_scoreboard = false;
+    on_new_ack = (fun ~ack:_ -> assert false);
+    on_dupack = (fun ~ack:_ -> assert false);
+    on_timeout = (fun () -> assert false);
+    on_rtt_sample = (fun ~rtt_ticks:_ ~rtt_ns:_ -> assert false);
+    diag = (fun () -> []);
+  }
+
+(* Defined after the [arm_timer .. on_timeout] chain so the timer's
+   callback can be bound once, here, instead of allocating a closure
+   per rearm. *)
+let create sim ~config ~conn ~src ~dst ~total_bytes ~alloc_id ~transmit =
+  Tcp_config.validate config;
+  if total_bytes <= 0 then invalid_arg "Tcp_sender.create: nothing to send";
+  let timer_counters = Soft_timer.create_counters () in
+  let t =
+    {
+      sim;
+      cfg = config;
+      conn;
+      src;
+      dst;
+      total = total_bytes;
+      alloc_id;
+      transmit;
+      stats = Tcp_stats.create ();
+      rto_state =
+        Rto.create ~initial_ticks:config.initial_rto_ticks
+          ~min_ticks:config.min_rto_ticks ~max_ticks:config.max_rto_ticks
+          ~max_backoff:config.max_backoff;
+      cc_state = Cc.initial_state config;
+      policy = unset_policy;
+      snd_una = 0;
+      snd_nxt = 0;
+      max_sent = 0;
+      available = total_bytes;
+      sacked = [];
+      hole_cursor = 0;
+      timing = None;
+      timer = Soft_timer.create sim ~counters:timer_counters ignore;
+      timer_counters;
+      timer_ticks = 0;
+      is_complete = false;
+      on_complete = None;
+      on_send = None;
+      on_timeout_hook = None;
+      obs_trace = Obs.Trace.disabled;
+      rtt_hist = Obs.Registry.histogram Obs.Registry.disabled "tcp.rtt_ticks";
+      cwnd_hist = Obs.Registry.histogram Obs.Registry.disabled "tcp.cwnd_bytes";
+    }
+  in
+  let host =
+    {
+      Cc.cfg = config;
+      state = t.cc_state;
+      stats = t.stats;
+      total = total_bytes;
+      snd_una = (fun () -> t.snd_una);
+      snd_nxt = (fun () -> t.snd_nxt);
+      max_sent = (fun () -> t.max_sent);
+      set_snd_una = (fun seq -> t.snd_una <- seq);
+      set_snd_nxt = (fun seq -> t.snd_nxt <- seq);
+      emit_segment = (fun ~seq ~len -> emit_segment t ~seq ~len);
+      send_window = (fun () -> send_window t);
+      arm_rto = (fun () -> arm_timer t ~ticks:(Rto.current_ticks t.rto_state));
+      clear_timing = (fun () -> t.timing <- None);
+      clear_scoreboard = (fun () -> t.sacked <- []);
+      prune_scoreboard =
+        (fun ~ack ->
+          t.sacked <- List.filter (fun (_, stop) -> stop > ack) t.sacked);
+      set_hole_cursor = (fun seq -> t.hole_cursor <- seq);
+      retransmit_hole = (fun () -> retransmit_hole t);
+    }
+  in
+  t.policy <-
+    (match config.Tcp_config.cc with
+    | Tcp_config.Tahoe -> Cc_tahoe.make host
+    | Tcp_config.Reno -> Cc_reno.make ~newreno:false host
+    | Tcp_config.Newreno -> Cc_reno.make ~newreno:true host
+    | Tcp_config.Sack -> Cc_sack.make host
+    | Tcp_config.Vegas -> Cc_vegas.make host);
+  Soft_timer.set_callback t.timer (fun () -> on_timeout t);
+  t
+
+let complete t =
+  if not t.is_complete then begin
+    t.is_complete <- true;
+    cancel_timer t;
+    if Obs.Trace.enabled t.obs_trace then
+      trace_emit t ~ev:"complete" [ ("total", Obs.Jsonl.Int t.total) ];
+    match t.on_complete with Some f -> f () | None -> ()
+  end
 
 let handle_ack ?(sack = []) t ~ack =
   if not t.is_complete then begin
-    if t.cfg.flavor = Tcp_config.Sack then record_sack t sack;
+    if t.policy.Cc.uses_scoreboard then record_sack t sack;
     if ack > t.snd_una then begin
       t.stats.Tcp_stats.acks_received <- t.stats.Tcp_stats.acks_received + 1;
       (match t.timing with
       | Some (seq, sent_at) when ack > seq ->
-        let rtt_ticks = elapsed_ticks t sent_at in
+        let rtt_ns =
+          Simtime.span_to_ns (Simtime.diff (Simulator.now t.sim) sent_at)
+        in
+        let rtt_ticks = 1 + (rtt_ns / Simtime.span_to_ns t.cfg.tick) in
         Rto.sample t.rto_state ~rtt_ticks;
         Obs.Registry.observe t.rtt_hist (float_of_int rtt_ticks);
         t.stats.Tcp_stats.rtt_samples <- t.stats.Tcp_stats.rtt_samples + 1;
-        t.timing <- None
+        t.timing <- None;
+        t.policy.Cc.on_rtt_sample ~rtt_ticks ~rtt_ns
       | Some _ | None -> ());
       Rto.reset_backoff t.rto_state;
-      t.dupacks <- 0;
-      (if t.in_fast_recovery then begin
-         match t.cfg.flavor with
-         | Tcp_config.Sack when ack < t.recover ->
-           (* Partial ack: keep recovering, fill the next hole. *)
-           t.snd_una <- ack;
-           t.sacked <- List.filter (fun (_, stop) -> stop > ack) t.sacked;
-           ignore (retransmit_hole t)
-         | Tcp_config.Tahoe | Tcp_config.Reno | Tcp_config.Sack ->
-           (* Recovery complete: deflate to ssthresh. *)
-           t.in_fast_recovery <- false;
-           t.cwnd <- float_of_int t.ssthresh
-       end
-       else grow_cwnd t);
+      t.cc_state.Cc.dupacks <- 0;
+      t.policy.Cc.on_new_ack ~ack;
       t.snd_una <- ack;
       t.sacked <- List.filter (fun (_, stop) -> stop > ack) t.sacked;
       if t.snd_nxt < t.snd_una then t.snd_nxt <- t.snd_una;
@@ -360,27 +337,8 @@ let handle_ack ?(sack = []) t ~ack =
     else begin
       t.stats.Tcp_stats.dupacks_received <-
         t.stats.Tcp_stats.dupacks_received + 1;
-      t.dupacks <- t.dupacks + 1;
-      if t.in_fast_recovery then begin
-        match t.cfg.flavor with
-        | Tcp_config.Sack ->
-          (* One hole retransmission per arriving ack; new data once
-             the scoreboard is clean. *)
-          if not (retransmit_hole t) then begin
-            t.cwnd <- t.cwnd +. float_of_int t.cfg.mss;
-            send_window t
-          end
-        | Tcp_config.Tahoe | Tcp_config.Reno ->
-          (* Window inflation: each duplicate ack signals a departure. *)
-          t.cwnd <- t.cwnd +. float_of_int t.cfg.mss;
-          send_window t
-      end
-      else if t.dupacks = t.cfg.dupack_threshold && t.snd_una > t.recover
-      then
-        (* One fast retransmit per window of data (ns-style [recover]
-           guard): duplicate acks generated by the recovery burst must
-           not trigger another collapse. *)
-        fast_retransmit t
+      t.cc_state.Cc.dupacks <- t.cc_state.Cc.dupacks + 1;
+      t.policy.Cc.on_dupack ~ack
     end
   end
 
@@ -406,23 +364,25 @@ let handle_ebsn t =
 
 let handle_quench t =
   t.stats.Tcp_stats.quenches_received <- t.stats.Tcp_stats.quenches_received + 1;
-  (* BSD tcp_quench: collapse to one segment, leave ssthresh alone. *)
+  (* BSD tcp_quench: collapse to one segment, leave ssthresh alone.  A
+     host-level reaction, deliberately outside the Cc policy. *)
   if not t.is_complete then begin
     if Obs.Trace.enabled t.obs_trace then
-      trace_emit t ~ev:"quench" [ ("cwnd", Obs.Jsonl.Int (int_of_float t.cwnd)) ];
-    t.cwnd <- float_of_int t.cfg.mss
+      trace_emit t ~ev:"quench"
+        [ ("cwnd", Obs.Jsonl.Int (int_of_float t.cc_state.Cc.cwnd)) ];
+    t.cc_state.Cc.cwnd <- float_of_int t.cfg.mss
   end
 
 let start t = send_window t
 
 let set_available t bytes =
   if bytes < t.available then
-    invalid_arg "Tahoe_sender.set_available: cannot shrink";
+    invalid_arg "Tcp_sender.set_available: cannot shrink";
   t.available <- Stdlib.min bytes t.total;
   if not t.is_complete then send_window t
 
 let restrict_available t bytes =
-  if bytes < 0 then invalid_arg "Tahoe_sender.restrict_available: negative";
+  if bytes < 0 then invalid_arg "Tcp_sender.restrict_available: negative";
   t.available <- Stdlib.min bytes t.total
 
 let check_invariants t =
@@ -433,9 +393,10 @@ let check_invariants t =
       Printf.sprintf "conn %d: una=%d nxt=%d max_sent=%d total=%d" t.conn
         t.snd_una t.snd_nxt t.max_sent t.total);
   Obs.Invariant.require ~name:"tcp.cwnd_floor"
-    (t.cwnd >= float_of_int t.cfg.mss)
+    (t.cc_state.Cc.cwnd >= float_of_int t.cfg.mss)
     ~detail:(fun () ->
-      Printf.sprintf "conn %d: cwnd=%g < mss=%d" t.conn t.cwnd t.cfg.mss);
+      Printf.sprintf "conn %d: cwnd=%g < mss=%d" t.conn t.cc_state.Cc.cwnd
+        t.cfg.mss);
   Obs.Invariant.require ~name:"tcp.timer_after_complete"
     (not (t.is_complete && timer_pending t))
     ~detail:(fun () ->

@@ -1,14 +1,21 @@
-(** TCP bulk-transfer sender (Tahoe by default, optionally Reno).
+(** TCP bulk-transfer sender with pluggable congestion control.
 
-    Implements the algorithms the paper runs at the fixed host
-    (§3.3): slow start, congestion avoidance, fast retransmit,
-    Jacobson RTO estimation with Karn's rule at a coarse clock
-    granularity, exponential timeout backoff, and go-back-N
-    retransmission from the last cumulative acknowledgement after a
-    timeout.  With [Tcp_config.flavor = Reno] a fast retransmit enters
-    fast recovery (RFC 2581 window inflation/deflation) instead of
-    collapsing to one segment — provided as an ablation against the
-    paper's Tahoe.
+    Implements the transport machinery the paper runs at the fixed
+    host (§3.3): sequencing, send-window clocking, Jacobson RTO
+    estimation with Karn's rule at a coarse clock granularity,
+    exponential timeout backoff, and go-back-N retransmission from the
+    last cumulative acknowledgement after a timeout.  The
+    congestion-control state machine — slow start, congestion
+    avoidance, fast retransmit and each variant's recovery behaviour —
+    is a {!Cc.policy} selected by [Tcp_config.cc]:
+
+    - [Tahoe] (the paper's TCP): loss collapses the window to one
+      segment; byte-identical to the historical [Tahoe_sender].
+    - [Reno]: fast recovery (RFC 2581 window inflation/deflation).
+    - [Newreno]: Reno plus RFC 3782 partial-ack retransmission.
+    - [Sack]: scoreboard-driven hole retransmission (RFC 2018).
+    - [Vegas]: delay-based baseRTT/minRTT band control with
+      NewReno-style loss recovery.
 
     The EBSN extension (§4.2.3 and the paper's appendix) is the
     {!handle_ebsn} entry point: on receipt, the pending retransmission
@@ -54,8 +61,8 @@ val set_available : t -> int -> unit
 val handle_ack : ?sack:(int * int) list -> t -> ack:int -> unit
 (** Process a cumulative acknowledgement ([ack] = next byte the
     receiver expects).  [sack] carries the receiver's
-    selective-acknowledgement blocks; only a [Sack]-flavoured sender
-    uses them. *)
+    selective-acknowledgement blocks; only a scoreboard-using policy
+    ([Sack]) reads them. *)
 
 val handle_ebsn : t -> unit
 (** Process an Explicit Bad State Notification: re-arm the pending
@@ -107,8 +114,21 @@ val timer_counters : t -> Sim_engine.Soft_timer.counters
     restarts, lazy cancels, fires, stale fires, deadline chases) —
     for observability and the engine bench. *)
 
+val cc : t -> Tcp_config.cc
+(** The congestion-control variant this sender runs. *)
+
+val cc_name : t -> string
+(** {!Tcp_config.cc_name} of {!cc}. *)
+
 val in_fast_recovery : t -> bool
-(** [true] while a Reno sender is in fast recovery. *)
+(** [true] while the policy is in fast recovery (Reno family). *)
+
+val recovery_entries : t -> int
+(** Times fast recovery has been entered. *)
+
+val cc_diag : t -> (string * float) list
+(** Variant-private diagnostics (e.g. Vegas's [base_rtt_ticks] and
+    [diff_segments]); empty for variants with no private state. *)
 
 (** {2 Observability} *)
 

@@ -180,10 +180,16 @@ let effective_wireless_bps t =
 let with_scheme t scheme = { t with scheme }
 let with_seed t seed = { t with seed }
 
+let with_cc t cc =
+  { t with tcp = { t.tcp with Tcp_tahoe.Tcp_config.cc } }
+
 let describe t =
   Format.asprintf
-    "%s: pkt=%dB file=%dB good=%a bad=%a %s wired=%a wireless=%a(raw)"
+    "%s%s: pkt=%dB file=%dB good=%a bad=%a %s wired=%a wireless=%a(raw)"
     (scheme_name t.scheme)
+    (match t.tcp.Tcp_tahoe.Tcp_config.cc with
+    | Tcp_tahoe.Tcp_config.Tahoe -> ""
+    | cc -> "/" ^ Tcp_tahoe.Tcp_config.cc_name cc)
     (Tcp_tahoe.Tcp_config.packet_size t.tcp)
     t.file_bytes Simtime.pp_span t.wireless.mean_good Simtime.pp_span
     t.wireless.mean_bad

@@ -112,5 +112,10 @@ val with_scheme : t -> scheme -> t
 val with_seed : t -> int -> t
 (** The same scenario with a different random seed. *)
 
+val with_cc : t -> Tcp_tahoe.Tcp_config.cc -> t
+(** The same scenario with a different congestion-control variant at
+    the source. *)
+
 val describe : t -> string
-(** One-line summary for reports. *)
+(** One-line summary for reports; non-Tahoe senders show up as
+    ["scheme/cc"]. *)

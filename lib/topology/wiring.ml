@@ -253,7 +253,7 @@ let run ?obs ?faults (scenario : Scenario.t) =
   (* Transport endpoints. *)
   let conn = 0 in
   let sender =
-    Tahoe_sender.create sim ~config:scenario.tcp ~conn ~src:fh_addr
+    Tcp_sender.create sim ~config:scenario.tcp ~conn ~src:fh_addr
       ~dst:mh_addr ~total_bytes:scenario.file_bytes ~alloc_id
       ~transmit:(Node.send fh)
   in
@@ -265,11 +265,11 @@ let run ?obs ?faults (scenario : Scenario.t) =
       ~peer:sink_peer ~expected_bytes:scenario.file_bytes ~alloc_id
       ~transmit:(Node.send mh)
   in
-  Tahoe_sender.set_obs sender ~trace:obs_trace ~metrics:registry;
+  Tcp_sender.set_obs sender ~trace:obs_trace ~metrics:registry;
   if obs_cfg.Obs.Config.check then begin
     Simulator.set_checked sim true;
     Simulator.add_invariant sim (fun () ->
-        Tahoe_sender.check_invariants sender);
+        Tcp_sender.check_invariants sender);
     Simulator.add_invariant sim (fun () ->
         Wireless_link.check_invariants downlink);
     Simulator.add_invariant sim (fun () ->
@@ -423,14 +423,14 @@ let run ?obs ?faults (scenario : Scenario.t) =
   Node.set_local_handler fh (fun pkt ->
       match pkt.Packet.kind with
       | Packet.Tcp_ack { ack; sack; _ } ->
-        Tahoe_sender.handle_ack ~sack sender ~ack
+        Tcp_sender.handle_ack ~sack sender ~ack
       | Packet.Ebsn _ ->
         Metrics.Trace.record trace (Simulator.now sim) Metrics.Trace.Ebsn_received;
-        Tahoe_sender.handle_ebsn sender
+        Tcp_sender.handle_ebsn sender
       | Packet.Source_quench _ ->
         Metrics.Trace.record trace (Simulator.now sim)
           Metrics.Trace.Quench_received;
-        Tahoe_sender.handle_quench sender
+        Tcp_sender.handle_quench sender
       | Packet.Tcp_data _ -> ());
   Node.set_local_handler mh (fun pkt ->
       match pkt.Packet.kind with
@@ -444,10 +444,10 @@ let run ?obs ?faults (scenario : Scenario.t) =
       | _, _ -> ());
 
   (* Tracing hooks. *)
-  Tahoe_sender.set_on_send sender (fun pkt ->
+  Tcp_sender.set_on_send sender (fun pkt ->
       Slog.debug sim "src sends %a (cwnd=%dB una=%d)" Packet.pp pkt
-        (Tahoe_sender.cwnd_bytes sender)
-        (Tahoe_sender.snd_una sender);
+        (Tcp_sender.cwnd_bytes sender)
+        (Tcp_sender.snd_una sender);
       match pkt.Packet.kind with
       | Packet.Tcp_data { seq; is_retransmit; _ } ->
         Metrics.Trace.record trace (Simulator.now sim)
@@ -458,9 +458,9 @@ let run ?obs ?faults (scenario : Scenario.t) =
                retransmit = is_retransmit;
              })
       | Packet.Tcp_ack _ | Packet.Ebsn _ | Packet.Source_quench _ -> ());
-  Tahoe_sender.set_on_timeout sender (fun () ->
+  Tcp_sender.set_on_timeout sender (fun () ->
       Slog.info sim "source retransmission timeout (una=%d)"
-        (Tahoe_sender.snd_una sender);
+        (Tcp_sender.snd_una sender);
       Metrics.Trace.record trace (Simulator.now sim) Metrics.Trace.Timeout);
 
   (* Background wired-network load (the §6 congestion study). *)
@@ -484,7 +484,7 @@ let run ?obs ?faults (scenario : Scenario.t) =
   (* Run. *)
   Tcp_sink.set_on_complete sink (fun () -> Simulator.stop sim);
   let start_time = Simulator.now sim in
-  Tahoe_sender.start sender;
+  Tcp_sender.start sender;
   let fault =
     try
       Simulator.run ~until:(Simtime.add start_time scenario.horizon) sim;
@@ -535,14 +535,14 @@ let run ?obs ?faults (scenario : Scenario.t) =
         c (name ^ ".stale_fires") tc.Soft_timer.stale_fires;
         c (name ^ ".chases") tc.Soft_timer.chases
       in
-      timers "tcp.timer" (Tahoe_sender.timer_counters sender);
+      timers "tcp.timer" (Tcp_sender.timer_counters sender);
       Option.iter
         (fun arq -> timers "arq.down.timer" (Arq.timer_counters arq))
         downlink_arq;
       Option.iter
         (fun arq -> timers "arq.up.timer" (Arq.timer_counters arq))
         uplink_arq;
-      let st = Tahoe_sender.stats sender in
+      let st = Tcp_sender.stats sender in
       c "tcp.packets_sent" st.Tcp_stats.packets_sent;
       c "tcp.bytes_sent" st.Tcp_stats.bytes_sent;
       c "tcp.packets_retransmitted" st.Tcp_stats.packets_retransmitted;
@@ -554,6 +554,19 @@ let run ?obs ?faults (scenario : Scenario.t) =
       c "tcp.rtt_samples" st.Tcp_stats.rtt_samples;
       c "tcp.ebsns_received" st.Tcp_stats.ebsns_received;
       c "tcp.quenches_received" st.Tcp_stats.quenches_received;
+      (* Congestion-control variant metrics, namespaced by variant so
+         a sweep over variants never aliases one name to two
+         meanings. *)
+      let g name v = Obs.Registry.set (Obs.Registry.gauge registry name) v in
+      let cc_prefix = "tcp.cc." ^ Tcp_sender.cc_name sender in
+      g (cc_prefix ^ ".cwnd_bytes")
+        (float_of_int (Tcp_sender.cwnd_bytes sender));
+      g (cc_prefix ^ ".ssthresh_bytes")
+        (float_of_int (Tcp_sender.ssthresh_bytes sender));
+      c (cc_prefix ^ ".recovery_entries") (Tcp_sender.recovery_entries sender);
+      List.iter
+        (fun (name, v) -> g (cc_prefix ^ "." ^ name) v)
+        (Tcp_sender.cc_diag sender);
       let link prefix (ls : Wireless_link.stats) =
         c (prefix ^ ".frames_sent") ls.Wireless_link.frames_sent;
         c (prefix ^ ".air_bytes") ls.Wireless_link.air_bytes;
@@ -588,7 +601,7 @@ let run ?obs ?faults (scenario : Scenario.t) =
     completed;
     result;
     trace;
-    sender_stats = Tahoe_sender.stats sender;
+    sender_stats = Tcp_sender.stats sender;
     sink_stats = Tcp_sink.stats sink;
     arq_stats = Option.map Arq.stats downlink_arq;
     downlink_stats = Wireless_link.stats downlink;
@@ -616,7 +629,7 @@ let run ?obs ?faults (scenario : Scenario.t) =
            total.Soft_timer.stale_fires + c.Soft_timer.stale_fires;
          total.Soft_timer.chases <- total.Soft_timer.chases + c.Soft_timer.chases
        in
-       absorb (Tahoe_sender.timer_counters sender);
+       absorb (Tcp_sender.timer_counters sender);
        Option.iter (fun arq -> absorb (Arq.timer_counters arq)) downlink_arq;
        Option.iter (fun arq -> absorb (Arq.timer_counters arq)) uplink_arq;
        total);

@@ -50,6 +50,18 @@ let () =
         (contains err "unknown option"
         && (contains err "Usage" || contains err "usage")))
     subcommands;
+  (* Every subcommand that takes --cc must reject a bogus variant with
+     a parse error (cmdliner's exit 124), naming the valid set. *)
+  List.iter
+    (fun sub ->
+      let code, err = run_wtcp (sub ^ " --cc bogus") in
+      check
+        (Printf.sprintf "%s: bad --cc exits 124 (got %d)" sub code)
+        (code = 124);
+      check
+        (Printf.sprintf "%s: bad --cc names the valid variants" sub)
+        (contains err "tahoe" && contains err "vegas"))
+    [ "run"; "compare"; "handoff"; "chaos" ];
   let code, err = run_wtcp "frobnicate" in
   check
     (Printf.sprintf "unknown subcommand exits 124 (got %d)" code)
@@ -61,5 +73,16 @@ let () =
   let code, _ = run_wtcp "chaos --plans 2 --check" in
   check
     (Printf.sprintf "chaos happy path exits 0 (got %d)" code)
+    (code = 0);
+  List.iter
+    (fun cc ->
+      let code, _ = run_wtcp (Printf.sprintf "run --cc %s --file 20000" cc) in
+      check
+        (Printf.sprintf "run --cc %s exits 0 (got %d)" cc code)
+        (code = 0))
+    [ "tahoe"; "reno"; "newreno"; "sack"; "vegas" ];
+  let code, _ = run_wtcp "chaos --cc vegas --plans 2 --check" in
+  check
+    (Printf.sprintf "chaos --cc vegas exits 0 (got %d)" code)
     (code = 0);
   if !failures > 0 then exit 1

@@ -1,0 +1,295 @@
+(* Tests for the pluggable congestion-control (Cc) interface:
+   configuration defaults pinned by regression, plus property tests of
+   the Reno, NewReno and Vegas state machines. *)
+
+open Core
+
+let addr = Address.make
+let mss = 536
+
+(* ------------------------------------------------------------------ *)
+(* Configuration defaults (regression pins)                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_config_defaults () =
+  let d = Tcp_config.default in
+  Alcotest.(check int) "dupack threshold" 3 d.Tcp_config.dupack_threshold;
+  Alcotest.(check bool) "initial ssthresh unset by default" true
+    (d.Tcp_config.initial_ssthresh = None);
+  Alcotest.(check int) "unset initial ssthresh falls back to the window"
+    d.Tcp_config.window
+    (Tcp_config.initial_ssthresh_bytes d);
+  Alcotest.(check int) "vegas alpha" 2 d.Tcp_config.vegas_alpha;
+  Alcotest.(check int) "vegas beta" 4 d.Tcp_config.vegas_beta;
+  Alcotest.(check int) "vegas gamma" 1 d.Tcp_config.vegas_gamma;
+  Alcotest.(check bool) "default cc is tahoe" true
+    (d.Tcp_config.cc = Tcp_config.Tahoe)
+
+let test_cc_names () =
+  List.iter
+    (fun cc ->
+      Alcotest.(check bool)
+        (Tcp_config.cc_name cc ^ " round-trips")
+        true
+        (Tcp_config.cc_of_name (Tcp_config.cc_name cc) = Some cc))
+    Tcp_config.all_ccs;
+  Alcotest.(check bool) "bogus name rejected" true
+    (Tcp_config.cc_of_name "cubic" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Open-loop harness: acks fed by hand                                 *)
+(* ------------------------------------------------------------------ *)
+
+type harness = { sim : Simulator.t; sender : Tcp_sender.t }
+
+let make_harness ?(cc = Tcp_config.Reno) ?dupack_threshold ?initial_ssthresh
+    () =
+  let base = Tcp_config.with_packet_size Tcp_config.default 576 in
+  let config =
+    {
+      base with
+      Tcp_config.cc;
+      window = 40 * mss;
+      dupack_threshold =
+        Option.value dupack_threshold ~default:base.Tcp_config.dupack_threshold;
+      initial_ssthresh;
+    }
+  in
+  let sim = Simulator.create () in
+  let ids = Ids.create () in
+  let sender =
+    Tcp_sender.create sim ~config ~conn:0 ~src:(addr 0) ~dst:(addr 2)
+      ~total_bytes:(2000 * mss)
+      ~alloc_id:(fun () -> Ids.next ids)
+      ~transmit:(fun _ -> ())
+  in
+  { sim; sender }
+
+let open_window h n =
+  for _ = 1 to n do
+    let una = Tcp_sender.snd_una h.sender in
+    Tcp_sender.handle_ack h.sender ~ack:(una + mss)
+  done
+
+let test_initial_ssthresh_applied () =
+  let h = make_harness ~initial_ssthresh:(8 * mss) () in
+  Alcotest.(check int) "ssthresh from config" (8 * mss)
+    (Tcp_sender.ssthresh_bytes h.sender)
+
+(* The dup-ack threshold is a knob, not a constant: with threshold 5,
+   four duplicates do nothing and the fifth both triggers fast
+   retransmit and sets the inflation to ssthresh + 5 segments. *)
+let test_dupack_threshold_knob () =
+  let h = make_harness ~dupack_threshold:5 () in
+  Tcp_sender.start h.sender;
+  open_window h 8;
+  let una = Tcp_sender.snd_una h.sender in
+  for _ = 1 to 4 do
+    Tcp_sender.handle_ack h.sender ~ack:una
+  done;
+  Alcotest.(check bool) "below threshold: no recovery" false
+    (Tcp_sender.in_fast_recovery h.sender);
+  Tcp_sender.handle_ack h.sender ~ack:una;
+  Alcotest.(check bool) "at threshold: recovery" true
+    (Tcp_sender.in_fast_recovery h.sender);
+  Alcotest.(check int) "inflation uses the threshold"
+    (Tcp_sender.ssthresh_bytes h.sender + (5 * mss))
+    (Tcp_sender.cwnd_bytes h.sender)
+
+(* ------------------------------------------------------------------ *)
+(* Reno: fast retransmit halves, never collapses                       *)
+(* ------------------------------------------------------------------ *)
+
+let prop_reno_never_collapses =
+  QCheck2.Test.make
+    ~name:
+      "reno: fast retransmit sets cwnd to ssthresh + 3 mss and never \
+       collapses to one segment"
+    ~count:100
+    QCheck2.Gen.(int_range 4 60)
+    (fun n ->
+      let h = make_harness ~cc:Tcp_config.Reno () in
+      Tcp_sender.start h.sender;
+      open_window h n;
+      let una = Tcp_sender.snd_una h.sender in
+      let nxt = Tcp_sender.snd_nxt h.sender in
+      let flight = nxt - una in
+      for _ = 1 to 3 do
+        Tcp_sender.handle_ack h.sender ~ack:una
+      done;
+      let ssthresh = Tcp_sender.ssthresh_bytes h.sender in
+      let cwnd = Tcp_sender.cwnd_bytes h.sender in
+      Tcp_sender.in_fast_recovery h.sender
+      && ssthresh = Stdlib.max (2 * mss) (flight / 2)
+      && cwnd = ssthresh + (3 * mss)
+      && cwnd > mss
+      (* no go-back-N: the send cursor never rewinds *)
+      && Tcp_sender.snd_nxt h.sender >= nxt
+      && Tcp_sender.recovery_entries h.sender = 1)
+
+(* ------------------------------------------------------------------ *)
+(* NewReno: partial acks keep the sender in recovery                   *)
+(* ------------------------------------------------------------------ *)
+
+let prop_newreno_survives_partial_acks =
+  QCheck2.Test.make
+    ~name:
+      "newreno: recovery persists across every partial ack and ends on the \
+       full one"
+    ~count:100
+    QCheck2.Gen.(pair (int_range 5 40) (int_range 1 8))
+    (fun (n, partials) ->
+      let h = make_harness ~cc:Tcp_config.Newreno () in
+      Tcp_sender.start h.sender;
+      open_window h n;
+      let una = Tcp_sender.snd_una h.sender in
+      let recover = Tcp_sender.snd_nxt h.sender in
+      for _ = 1 to 3 do
+        Tcp_sender.handle_ack h.sender ~ack:una
+      done;
+      if not (Tcp_sender.in_fast_recovery h.sender) then false
+      else begin
+        (* Strictly-below-recover acks, one segment at a time. *)
+        let segments = (recover - una) / mss in
+        let k = Stdlib.min partials (Stdlib.max 0 (segments - 1)) in
+        let stayed = ref true in
+        for i = 1 to k do
+          Tcp_sender.handle_ack h.sender ~ack:(una + (i * mss));
+          stayed := !stayed && Tcp_sender.in_fast_recovery h.sender
+        done;
+        Tcp_sender.handle_ack h.sender ~ack:recover;
+        !stayed
+        && (not (Tcp_sender.in_fast_recovery h.sender))
+        && Tcp_sender.recovery_entries h.sender = 1
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Vegas: closed-loop harness with a queueing bottleneck               *)
+(* ------------------------------------------------------------------ *)
+
+(* A tiny network model around the sender: one FIFO bottleneck server
+   with a fixed per-segment service time, plus a propagation delay
+   that may vary over time; every delivered segment is cumulatively
+   acked.  Round-trip delay grows linearly with the data in flight —
+   exactly the signal Vegas feeds on. *)
+let run_vegas ~base_s ~service_s ~until_sec ~probe_s ~on_probe () =
+  let base_cfg = Tcp_config.with_packet_size Tcp_config.default 576 in
+  let config =
+    { base_cfg with Tcp_config.cc = Tcp_config.Vegas; window = 12 * mss }
+  in
+  let sim = Simulator.create () in
+  let ids = Ids.create () in
+  let sender_ref = ref None in
+  let rcv_nxt = ref 0 in
+  let server_free_s = ref 0.0 in
+  let now_s () =
+    Simtime.span_to_sec (Simtime.diff (Simulator.now sim) Simtime.zero)
+  in
+  let transmit pkt =
+    match pkt.Packet.kind with
+    | Packet.Tcp_data { seq; length; _ } ->
+      let now = now_s () in
+      let start = Stdlib.max now !server_free_s in
+      let finish = start +. service_s in
+      server_free_s := finish;
+      let ack_at = finish +. base_s now in
+      ignore
+        (Simulator.schedule_after sim
+           ~delay:(Simtime.span_sec (ack_at -. now))
+           (fun () ->
+             if seq = !rcv_nxt then rcv_nxt := seq + length;
+             match !sender_ref with
+             | Some s -> Tcp_sender.handle_ack s ~ack:!rcv_nxt
+             | None -> ()))
+    | Packet.Tcp_ack _ | Packet.Ebsn _ | Packet.Source_quench _ -> ()
+  in
+  let sender =
+    Tcp_sender.create sim ~config ~conn:0 ~src:(addr 0) ~dst:(addr 2)
+      ~total_bytes:100_000_000
+      ~alloc_id:(fun () -> Ids.next ids)
+      ~transmit
+  in
+  sender_ref := Some sender;
+  let rec probe () =
+    ignore
+      (Simulator.schedule_after sim ~delay:(Simtime.span_sec probe_s)
+         (fun () ->
+           on_probe sender;
+           probe ()))
+  in
+  probe ();
+  Tcp_sender.start sender;
+  Simulator.run ~until:(Simtime.of_ns (int_of_float (until_sec *. 1e9))) sim;
+  sender
+
+let prop_vegas_base_rtt_monotone =
+  QCheck2.Test.make
+    ~name:"vegas: baseRTT estimate is monotonically non-increasing"
+    ~count:10
+    QCheck2.Gen.(pair (int_range 30 120) (int_range 30 120))
+    (fun (b1_ms, b2_ms) ->
+      (* The propagation delay drops (or rises) halfway through; the
+         base estimate must track every new minimum and never move
+         up. *)
+      let base_s now = if now < 60.0 then float_of_int b1_ms /. 1e3
+                       else float_of_int b2_ms /. 1e3
+      in
+      let bases = ref [] in
+      let on_probe sender =
+        match List.assoc_opt "base_rtt_ticks" (Tcp_sender.cc_diag sender) with
+        | Some b -> bases := b :: !bases
+        | None -> ()
+      in
+      ignore
+        (run_vegas ~base_s ~service_s:0.02 ~until_sec:120.0 ~probe_s:1.0
+           ~on_probe ());
+      let rec non_increasing = function
+        | newer :: older :: rest ->
+          (* [bases] is newest-first. *)
+          newer <= older +. 1e-9 && non_increasing (older :: rest)
+        | _ -> true
+      in
+      !bases <> [] && non_increasing !bases)
+
+let prop_vegas_steady_state_band =
+  QCheck2.Test.make
+    ~name:
+      "vegas: at steady state the estimated queue occupancy sits in the \
+       alpha/beta band"
+    ~count:10
+    QCheck2.Gen.(pair (int_range 30 80) (int_range 10 30))
+    (fun (base_ms, service_ms) ->
+      let sender =
+        run_vegas
+          ~base_s:(fun _ -> float_of_int base_ms /. 1e3)
+          ~service_s:(float_of_int service_ms /. 1e3)
+          ~until_sec:300.0 ~probe_s:60.0
+          ~on_probe:(fun _ -> ())
+          ()
+      in
+      let alpha = float_of_int Tcp_config.default.Tcp_config.vegas_alpha in
+      let beta = float_of_int Tcp_config.default.Tcp_config.vegas_beta in
+      match List.assoc_opt "diff_segments" (Tcp_sender.cc_diag sender) with
+      | None -> false
+      | Some diff -> diff >= alpha -. 1.0 && diff <= beta +. 1.0)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "cc"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "defaults pinned" `Quick test_config_defaults;
+          Alcotest.test_case "cc names round-trip" `Quick test_cc_names;
+          Alcotest.test_case "initial ssthresh applied" `Quick
+            test_initial_ssthresh_applied;
+          Alcotest.test_case "dupack threshold knob" `Quick
+            test_dupack_threshold_knob;
+        ] );
+      ("reno", [ qc prop_reno_never_collapses ]);
+      ("newreno", [ qc prop_newreno_survives_partial_acks ]);
+      ("vegas",
+       [ qc prop_vegas_base_rtt_monotone; qc prop_vegas_steady_state_band ]);
+    ]

@@ -13,13 +13,13 @@ let addr = Address.make
 let reno_cfg =
   {
     (Tcp_config.with_packet_size Tcp_config.default 576) with
-    Tcp_config.flavor = Tcp_config.Reno;
+    Tcp_config.cc = Tcp_config.Reno;
     window = 20 * 536;
   }
 
 type harness = {
   sim : Simulator.t;
-  sender : Tahoe_sender.t;
+  sender : Tcp_sender.t;
   sent : (int * bool) list ref;  (* seq, retransmit *)
 }
 
@@ -28,7 +28,7 @@ let make_harness ?(config = reno_cfg) () =
   let sent = ref [] in
   let ids = Ids.create () in
   let sender =
-    Tahoe_sender.create sim ~config ~conn:0 ~src:(addr 0) ~dst:(addr 2)
+    Tcp_sender.create sim ~config ~conn:0 ~src:(addr 0) ~dst:(addr 2)
       ~total_bytes:(200 * 536)
       ~alloc_id:(fun () -> Ids.next ids)
       ~transmit:(fun pkt ->
@@ -41,22 +41,22 @@ let make_harness ?(config = reno_cfg) () =
 
 let open_window h n =
   for _ = 1 to n do
-    let una = Tahoe_sender.snd_una h.sender in
-    Tahoe_sender.handle_ack h.sender ~ack:(una + 536)
+    let una = Tcp_sender.snd_una h.sender in
+    Tcp_sender.handle_ack h.sender ~ack:(una + 536)
   done
 
 let test_reno_enters_fast_recovery () =
   let h = make_harness () in
-  Tahoe_sender.start h.sender;
+  Tcp_sender.start h.sender;
   open_window h 6;
-  let una = Tahoe_sender.snd_una h.sender in
+  let una = Tcp_sender.snd_una h.sender in
   h.sent := [];
   (* Three duplicate acks. *)
   for _ = 1 to 3 do
-    Tahoe_sender.handle_ack h.sender ~ack:una
+    Tcp_sender.handle_ack h.sender ~ack:una
   done;
   Alcotest.(check bool) "in fast recovery" true
-    (Tahoe_sender.in_fast_recovery h.sender);
+    (Tcp_sender.in_fast_recovery h.sender);
   (* Exactly the missing segment was retransmitted, and snd_nxt did
      not rewind (no go-back-N). *)
   (match !(h.sent) with
@@ -64,55 +64,55 @@ let test_reno_enters_fast_recovery () =
   | _ -> Alcotest.fail "expected exactly one retransmission");
   (* cwnd = ssthresh + 3 mss (inflation). *)
   Alcotest.(check int) "inflated window"
-    (Tahoe_sender.ssthresh_bytes h.sender + (3 * 536))
-    (Tahoe_sender.cwnd_bytes h.sender)
+    (Tcp_sender.ssthresh_bytes h.sender + (3 * 536))
+    (Tcp_sender.cwnd_bytes h.sender)
 
 let test_reno_inflates_per_dupack () =
   let h = make_harness () in
-  Tahoe_sender.start h.sender;
+  Tcp_sender.start h.sender;
   open_window h 6;
-  let una = Tahoe_sender.snd_una h.sender in
+  let una = Tcp_sender.snd_una h.sender in
   for _ = 1 to 3 do
-    Tahoe_sender.handle_ack h.sender ~ack:una
+    Tcp_sender.handle_ack h.sender ~ack:una
   done;
-  let before = Tahoe_sender.cwnd_bytes h.sender in
-  Tahoe_sender.handle_ack h.sender ~ack:una;
+  let before = Tcp_sender.cwnd_bytes h.sender in
+  Tcp_sender.handle_ack h.sender ~ack:una;
   Alcotest.(check int) "one mss per further dupack" (before + 536)
-    (Tahoe_sender.cwnd_bytes h.sender)
+    (Tcp_sender.cwnd_bytes h.sender)
 
 let test_reno_deflates_on_new_ack () =
   let h = make_harness () in
-  Tahoe_sender.start h.sender;
+  Tcp_sender.start h.sender;
   open_window h 6;
-  let una = Tahoe_sender.snd_una h.sender in
+  let una = Tcp_sender.snd_una h.sender in
   for _ = 1 to 4 do
-    Tahoe_sender.handle_ack h.sender ~ack:una
+    Tcp_sender.handle_ack h.sender ~ack:una
   done;
-  let ssthresh = Tahoe_sender.ssthresh_bytes h.sender in
-  Tahoe_sender.handle_ack h.sender ~ack:(una + 536);
+  let ssthresh = Tcp_sender.ssthresh_bytes h.sender in
+  Tcp_sender.handle_ack h.sender ~ack:(una + 536);
   Alcotest.(check bool) "recovery over" false
-    (Tahoe_sender.in_fast_recovery h.sender);
+    (Tcp_sender.in_fast_recovery h.sender);
   Alcotest.(check int) "deflated to ssthresh" ssthresh
-    (Tahoe_sender.cwnd_bytes h.sender)
+    (Tcp_sender.cwnd_bytes h.sender)
 
 let test_reno_timeout_still_collapses () =
   let h = make_harness () in
-  Tahoe_sender.start h.sender;
+  Tcp_sender.start h.sender;
   open_window h 6;
   Simulator.run ~until:(Simtime.of_ns 60_000_000_000) h.sim;
   Alcotest.(check bool) "timeout happened" true
-    ((Tahoe_sender.stats h.sender).Tcp_stats.timeouts > 0);
+    ((Tcp_sender.stats h.sender).Tcp_stats.timeouts > 0);
   Alcotest.(check int) "slow-start restart" 536
-    (Tahoe_sender.cwnd_bytes h.sender);
+    (Tcp_sender.cwnd_bytes h.sender);
   Alcotest.(check bool) "not in recovery" false
-    (Tahoe_sender.in_fast_recovery h.sender)
+    (Tcp_sender.in_fast_recovery h.sender)
 
 let test_reno_end_to_end () =
   let s = Scenario.wan ~scheme:Scenario.Ebsn ~seed:5 () in
   let s =
     {
       s with
-      Scenario.tcp = { s.Scenario.tcp with Tcp_config.flavor = Tcp_config.Reno };
+      Scenario.tcp = { s.Scenario.tcp with Tcp_config.cc = Tcp_config.Reno };
     }
   in
   let outcome = Wiring.run s in
@@ -122,7 +122,7 @@ let test_reno_end_to_end () =
 (* SACK                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let sack_cfg = { reno_cfg with Tcp_config.flavor = Tcp_config.Sack }
+let sack_cfg = { reno_cfg with Tcp_config.cc = Tcp_config.Sack }
 
 let test_sack_sink_reports_blocks () =
   let sim = Simulator.create () in
@@ -154,9 +154,9 @@ let test_sack_sink_reports_blocks () =
 
 let test_sack_sender_fills_holes_only () =
   let h = make_harness ~config:sack_cfg () in
-  Tahoe_sender.start h.sender;
+  Tcp_sender.start h.sender;
   open_window h 8;
-  let una = Tahoe_sender.snd_una h.sender in
+  let una = Tcp_sender.snd_una h.sender in
   h.sent := [];
   (* Receiver holds [una+536, una+2*536) and [una+3*536, una+4*536):
      holes are una..una+536 and una+2*536..una+3*536. *)
@@ -164,15 +164,15 @@ let test_sack_sender_fills_holes_only () =
     [ (una + 536, una + (2 * 536)); (una + (3 * 536), una + (4 * 536)) ]
   in
   for _ = 1 to 3 do
-    Tahoe_sender.handle_ack ~sack:blocks h.sender ~ack:una
+    Tcp_sender.handle_ack ~sack:blocks h.sender ~ack:una
   done;
   Alcotest.(check bool) "in recovery" true
-    (Tahoe_sender.in_fast_recovery h.sender);
+    (Tcp_sender.in_fast_recovery h.sender);
   (match List.rev !(h.sent) with
   | (first, true) :: _ -> Alcotest.(check int) "first hole resent" una first
   | _ -> Alcotest.fail "expected a retransmission");
   (* The next ack fills the next hole — never the SACKed segments. *)
-  Tahoe_sender.handle_ack ~sack:blocks h.sender ~ack:una;
+  Tcp_sender.handle_ack ~sack:blocks h.sender ~ack:una;
   let resent = List.rev_map fst !(h.sent) in
   Alcotest.(check bool) "second hole resent" true
     (List.mem (una + (2 * 536)) resent);
@@ -181,24 +181,24 @@ let test_sack_sender_fills_holes_only () =
 
 let test_sack_partial_ack_continues_recovery () =
   let h = make_harness ~config:sack_cfg () in
-  Tahoe_sender.start h.sender;
+  Tcp_sender.start h.sender;
   open_window h 8;
-  let una = Tahoe_sender.snd_una h.sender in
+  let una = Tcp_sender.snd_una h.sender in
   let blocks = [ (una + 536, una + (2 * 536)) ] in
   for _ = 1 to 3 do
-    Tahoe_sender.handle_ack ~sack:blocks h.sender ~ack:una
+    Tcp_sender.handle_ack ~sack:blocks h.sender ~ack:una
   done;
   Alcotest.(check bool) "in recovery" true
-    (Tahoe_sender.in_fast_recovery h.sender);
+    (Tcp_sender.in_fast_recovery h.sender);
   (* The retransmission fills the first hole: partial ack jumps over
      the sacked block but recovery continues (ack < recover point). *)
-  Tahoe_sender.handle_ack h.sender ~ack:(una + (2 * 536));
+  Tcp_sender.handle_ack h.sender ~ack:(una + (2 * 536));
   Alcotest.(check bool) "still in recovery on partial ack" true
-    (Tahoe_sender.in_fast_recovery h.sender);
+    (Tcp_sender.in_fast_recovery h.sender);
   (* A full ack ends it. *)
-  Tahoe_sender.handle_ack h.sender ~ack:(Tahoe_sender.snd_nxt h.sender);
+  Tcp_sender.handle_ack h.sender ~ack:(Tcp_sender.snd_nxt h.sender);
   Alcotest.(check bool) "recovery over" false
-    (Tahoe_sender.in_fast_recovery h.sender)
+    (Tcp_sender.in_fast_recovery h.sender)
 
 let test_sack_end_to_end () =
   List.iter
@@ -207,7 +207,7 @@ let test_sack_end_to_end () =
       let s =
         {
           s with
-          Scenario.tcp = { s.Scenario.tcp with Tcp_config.flavor = Tcp_config.Sack };
+          Scenario.tcp = { s.Scenario.tcp with Tcp_config.cc = Tcp_config.Sack };
         }
       in
       let outcome = Wiring.run s in

@@ -128,13 +128,13 @@ let test_ebsn_vs_quench_semantics () =
     let sim = Simulator.create () in
     let ids = Ids.create () in
     let sender =
-      Tahoe_sender.create sim
+      Tcp_sender.create sim
         ~config:(Tcp_config.with_packet_size Tcp_config.default 576)
         ~conn:0 ~src:(addr 0) ~dst:(addr 2) ~total_bytes:100_000
         ~alloc_id:(fun () -> Ids.next ids)
         ~transmit:(fun _ -> ())
     in
-    Tahoe_sender.start sender;
+    Tcp_sender.start sender;
     for i = 1 to 20 do
       ignore
         (Simulator.schedule sim
@@ -142,10 +142,10 @@ let test_ebsn_vs_quench_semantics () =
            (fun () -> handle sender))
     done;
     Simulator.run ~until:(Simtime.of_ns 40_000_000_000) sim;
-    (Tahoe_sender.stats sender).Tcp_stats.timeouts
+    (Tcp_sender.stats sender).Tcp_stats.timeouts
   in
-  let with_ebsn = drive Tahoe_sender.handle_ebsn in
-  let with_quench = drive Tahoe_sender.handle_quench in
+  let with_ebsn = drive Tcp_sender.handle_ebsn in
+  let with_quench = drive Tcp_sender.handle_quench in
   Alcotest.(check int) "no timeouts with EBSN" 0 with_ebsn;
   Alcotest.(check bool) "timeouts despite quenches" true (with_quench > 0)
 

@@ -165,17 +165,17 @@ let test_mutation_canary () =
      its back and the next event aborts with tcp.sequence_order. *)
   let sim = Simulator.create ~seed:1 () in
   let sender =
-    Tahoe_sender.create sim ~config:Tcp_config.default ~conn:0
+    Tcp_sender.create sim ~config:Tcp_config.default ~conn:0
       ~src:(Address.make 0) ~dst:(Address.make 2) ~total_bytes:100_000
       ~alloc_id:(fun () -> 0)
       ~transmit:(fun _ -> ())
   in
   Simulator.set_checked sim true;
   Simulator.add_invariant sim (fun () ->
-      Tahoe_sender.check_invariants sender);
+      Tcp_sender.check_invariants sender);
   ignore
     (Simulator.schedule sim ~at:(Simtime.of_ns 10) (fun () ->
-         Tahoe_sender.For_testing.corrupt_sequence_state sender));
+         Tcp_sender.For_testing.corrupt_sequence_state sender));
   (* [Simulator.run] wraps handler exceptions — violations included —
      in a fault report carrying queue state at the point of failure. *)
   (match Simulator.run sim with
@@ -191,14 +191,14 @@ let test_mutation_canary () =
      the checker, not the schedule, catches it. *)
   let sim2 = Simulator.create ~seed:1 () in
   let sender2 =
-    Tahoe_sender.create sim2 ~config:Tcp_config.default ~conn:0
+    Tcp_sender.create sim2 ~config:Tcp_config.default ~conn:0
       ~src:(Address.make 0) ~dst:(Address.make 2) ~total_bytes:100_000
       ~alloc_id:(fun () -> 0)
       ~transmit:(fun _ -> ())
   in
   ignore
     (Simulator.schedule sim2 ~at:(Simtime.of_ns 10) (fun () ->
-         Tahoe_sender.For_testing.corrupt_sequence_state sender2));
+         Tcp_sender.For_testing.corrupt_sequence_state sender2));
   Simulator.run sim2
 
 let test_time_monotonic_guard () =

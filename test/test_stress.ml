@@ -7,11 +7,13 @@ open Core
 
 let check_wan seed =
   let scheme = List.nth Scenario.all_schemes (seed mod 6) in
-  let flavor =
-    match seed mod 3 with
+  let cc =
+    match seed mod 5 with
     | 0 -> Tcp_config.Tahoe
     | 1 -> Tcp_config.Reno
-    | _ -> Tcp_config.Sack
+    | 2 -> Tcp_config.Newreno
+    | 3 -> Tcp_config.Sack
+    | _ -> Tcp_config.Vegas
   in
   let file_bytes = 8_192 + ((seed mod 7) * 9_001) in
   let s =
@@ -27,7 +29,7 @@ let check_wan seed =
       Scenario.tcp =
         {
           s.Scenario.tcp with
-          Tcp_config.flavor;
+          Tcp_config.cc;
           delayed_ack = seed mod 2 = 0;
         };
       Scenario.uplink_arq = seed mod 5 = 0;
@@ -77,11 +79,13 @@ let test_handoff_matrix () =
 
 let test_lan_matrix () =
   for seed = 1 to 20 do
-    let flavor =
-      match seed mod 3 with
+    let cc =
+      match seed mod 5 with
       | 0 -> Tcp_config.Tahoe
       | 1 -> Tcp_config.Reno
-      | _ -> Tcp_config.Sack
+      | 2 -> Tcp_config.Newreno
+      | 3 -> Tcp_config.Sack
+      | _ -> Tcp_config.Vegas
     in
     let s =
       Scenario.lan
@@ -89,7 +93,7 @@ let test_lan_matrix () =
         ~mean_bad_sec:(0.2 +. (float_of_int (seed mod 8) *. 0.3))
         ~file_bytes:524_288 ~seed ()
     in
-    let s = { s with Scenario.tcp = { s.Scenario.tcp with Tcp_config.flavor } } in
+    let s = { s with Scenario.tcp = { s.Scenario.tcp with Tcp_config.cc } } in
     let o = Wiring.run s in
     Alcotest.(check bool)
       (Printf.sprintf "lan seed %d completes" seed)

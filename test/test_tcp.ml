@@ -1,4 +1,4 @@
-(* Tests for TCP-Tahoe: Tcp_config, Rto, Tahoe_sender, Tcp_sink,
+(* Tests for TCP-Tahoe: Tcp_config, Rto, Tcp_sender, Tcp_sink,
    Bulk_app. *)
 
 open Core
@@ -122,13 +122,13 @@ let prop_rto_backoff_then_clamp =
       && Rto.backoff_multiplier rto = Stdlib.min 64 (1 lsl backoffs))
 
 (* ------------------------------------------------------------------ *)
-(* Tahoe_sender harness                                                *)
+(* Tcp_sender harness                                                *)
 (* ------------------------------------------------------------------ *)
 
 (* Captures every transmitted packet; acks are injected manually. *)
 type harness = {
   sim : Simulator.t;
-  sender : Tahoe_sender.t;
+  sender : Tcp_sender.t;
   sent : (Simtime.t * int * int * bool) list ref;  (* time, seq, len, retx *)
 }
 
@@ -139,7 +139,7 @@ let make_harness ?(config = default_cfg) ?(total = 100 * 536) () =
   let sent = ref [] in
   let ids = Ids.create () in
   let sender =
-    Tahoe_sender.create sim ~config ~conn:0 ~src:(addr 0) ~dst:(addr 2)
+    Tcp_sender.create sim ~config ~conn:0 ~src:(addr 0) ~dst:(addr 2)
       ~total_bytes:total
       ~alloc_id:(fun () -> Ids.next ids)
       ~transmit:(fun pkt ->
@@ -155,31 +155,31 @@ let run_until h sec = Simulator.run ~until:(Simtime.of_ns (int_of_float (sec *. 
 
 let test_sender_slow_start_growth () =
   let h = make_harness () in
-  Tahoe_sender.start h.sender;
+  Tcp_sender.start h.sender;
   (* Initial window: one segment. *)
   Alcotest.(check (list int)) "one segment initially" [ 0 ] (sent_seqs h);
-  Alcotest.(check int) "cwnd = mss" 536 (Tahoe_sender.cwnd_bytes h.sender);
+  Alcotest.(check int) "cwnd = mss" 536 (Tcp_sender.cwnd_bytes h.sender);
   (* Each ack in slow start grows cwnd by one mss. *)
-  Tahoe_sender.handle_ack h.sender ~ack:536;
-  Alcotest.(check int) "cwnd doubled" (2 * 536) (Tahoe_sender.cwnd_bytes h.sender);
+  Tcp_sender.handle_ack h.sender ~ack:536;
+  Alcotest.(check int) "cwnd doubled" (2 * 536) (Tcp_sender.cwnd_bytes h.sender);
   Alcotest.(check int) "two more segments" 3 (List.length (sent_seqs h));
-  Tahoe_sender.handle_ack h.sender ~ack:(2 * 536);
-  Alcotest.(check int) "cwnd = 3 mss" (3 * 536) (Tahoe_sender.cwnd_bytes h.sender)
+  Tcp_sender.handle_ack h.sender ~ack:(2 * 536);
+  Alcotest.(check int) "cwnd = 3 mss" (3 * 536) (Tcp_sender.cwnd_bytes h.sender)
 
 let test_sender_window_limited () =
   (* Window 4096 with 536-byte segments: at most 7 unacked segments. *)
   let h = make_harness () in
-  Tahoe_sender.start h.sender;
+  Tcp_sender.start h.sender;
   let rec ack_all n =
     if n > 0 then begin
-      let una = Tahoe_sender.snd_una h.sender in
-      Tahoe_sender.handle_ack h.sender ~ack:(una + 536);
+      let una = Tcp_sender.snd_una h.sender in
+      Tcp_sender.handle_ack h.sender ~ack:(una + 536);
       ack_all (n - 1)
     end
   in
   ack_all 20;
   let outstanding =
-    Tahoe_sender.snd_nxt h.sender - Tahoe_sender.snd_una h.sender
+    Tcp_sender.snd_nxt h.sender - Tcp_sender.snd_una h.sender
   in
   Alcotest.(check bool) "flight bounded by the advertised window" true
     (outstanding <= 4096)
@@ -187,12 +187,12 @@ let test_sender_window_limited () =
 let test_sender_congestion_avoidance () =
   let cfg = { default_cfg with Tcp_config.window = 100 * 536 } in
   let h = make_harness ~config:cfg () in
-  Tahoe_sender.start h.sender;
+  Tcp_sender.start h.sender;
   (* Push cwnd past ssthresh by faking a loss first. *)
   let rec ack n =
     if n > 0 then begin
-      let una = Tahoe_sender.snd_una h.sender in
-      Tahoe_sender.handle_ack h.sender ~ack:(una + 536);
+      let una = Tcp_sender.snd_una h.sender in
+      Tcp_sender.handle_ack h.sender ~ack:(una + 536);
       ack (n - 1)
     end
   in
@@ -200,61 +200,61 @@ let test_sender_congestion_avoidance () =
   (* Force a timeout: ssthresh = flight/2. *)
   run_until h 10.0;
   Alcotest.(check bool) "timeout happened" true
-    ((Tahoe_sender.stats h.sender).Tcp_stats.timeouts > 0);
-  let ssthresh = Tahoe_sender.ssthresh_bytes h.sender in
-  Alcotest.(check int) "cwnd collapsed" 536 (Tahoe_sender.cwnd_bytes h.sender);
+    ((Tcp_sender.stats h.sender).Tcp_stats.timeouts > 0);
+  let ssthresh = Tcp_sender.ssthresh_bytes h.sender in
+  Alcotest.(check int) "cwnd collapsed" 536 (Tcp_sender.cwnd_bytes h.sender);
   (* Ack everything outstanding; once cwnd > ssthresh the growth per
      ack is sub-mss. *)
   let rec grow n =
     if n > 0 then begin
-      let una = Tahoe_sender.snd_una h.sender in
-      if una < Tahoe_sender.snd_nxt h.sender then
-        Tahoe_sender.handle_ack h.sender ~ack:(una + 536);
+      let una = Tcp_sender.snd_una h.sender in
+      if una < Tcp_sender.snd_nxt h.sender then
+        Tcp_sender.handle_ack h.sender ~ack:(una + 536);
       grow (n - 1)
     end
   in
   grow 40;
-  let cwnd = Tahoe_sender.cwnd_bytes h.sender in
+  let cwnd = Tcp_sender.cwnd_bytes h.sender in
   Alcotest.(check bool) "cwnd grew past ssthresh" true (cwnd > ssthresh);
   let before = cwnd in
-  let una = Tahoe_sender.snd_una h.sender in
-  Tahoe_sender.handle_ack h.sender ~ack:(una + 536);
-  let delta = Tahoe_sender.cwnd_bytes h.sender - before in
+  let una = Tcp_sender.snd_una h.sender in
+  Tcp_sender.handle_ack h.sender ~ack:(una + 536);
+  let delta = Tcp_sender.cwnd_bytes h.sender - before in
   Alcotest.(check bool) "linear growth region" true (delta < 536)
 
 let test_sender_fast_retransmit () =
   let h = make_harness () in
-  Tahoe_sender.start h.sender;
-  Tahoe_sender.handle_ack h.sender ~ack:536;
-  Tahoe_sender.handle_ack h.sender ~ack:(2 * 536);
+  Tcp_sender.start h.sender;
+  Tcp_sender.handle_ack h.sender ~ack:536;
+  Tcp_sender.handle_ack h.sender ~ack:(2 * 536);
   (* Lose segment at 2*536: three duplicate acks trigger Tahoe fast
      retransmit. *)
   h.sent := [];
-  Tahoe_sender.handle_ack h.sender ~ack:(2 * 536);
-  Tahoe_sender.handle_ack h.sender ~ack:(2 * 536);
+  Tcp_sender.handle_ack h.sender ~ack:(2 * 536);
+  Tcp_sender.handle_ack h.sender ~ack:(2 * 536);
   Alcotest.(check (list int)) "not yet" [] (sent_seqs h);
-  Tahoe_sender.handle_ack h.sender ~ack:(2 * 536);
+  Tcp_sender.handle_ack h.sender ~ack:(2 * 536);
   (match sent_seqs h with
   | first :: _ ->
     Alcotest.(check int) "retransmits the lost segment" (2 * 536) first
   | [] -> Alcotest.fail "no retransmission");
   Alcotest.(check int) "counted" 1
-    (Tahoe_sender.stats h.sender).Tcp_stats.fast_retransmits;
+    (Tcp_sender.stats h.sender).Tcp_stats.fast_retransmits;
   Alcotest.(check int) "cwnd collapsed to one segment" 536
-    (Tahoe_sender.cwnd_bytes h.sender);
+    (Tcp_sender.cwnd_bytes h.sender);
   (* Further dupacks in the same window must not retrigger. *)
-  Tahoe_sender.handle_ack h.sender ~ack:(2 * 536);
-  Tahoe_sender.handle_ack h.sender ~ack:(2 * 536);
-  Tahoe_sender.handle_ack h.sender ~ack:(2 * 536);
+  Tcp_sender.handle_ack h.sender ~ack:(2 * 536);
+  Tcp_sender.handle_ack h.sender ~ack:(2 * 536);
+  Tcp_sender.handle_ack h.sender ~ack:(2 * 536);
   Alcotest.(check int) "one fast retransmit per window" 1
-    (Tahoe_sender.stats h.sender).Tcp_stats.fast_retransmits
+    (Tcp_sender.stats h.sender).Tcp_stats.fast_retransmits
 
 let test_sender_timeout_go_back_n () =
   let h = make_harness () in
-  Tahoe_sender.start h.sender;
-  Tahoe_sender.handle_ack h.sender ~ack:536;
-  Tahoe_sender.handle_ack h.sender ~ack:(2 * 536);
-  let nxt_before = Tahoe_sender.snd_nxt h.sender in
+  Tcp_sender.start h.sender;
+  Tcp_sender.handle_ack h.sender ~ack:536;
+  Tcp_sender.handle_ack h.sender ~ack:(2 * 536);
+  let nxt_before = Tcp_sender.snd_nxt h.sender in
   Alcotest.(check bool) "several outstanding" true (nxt_before > 2 * 536);
   h.sent := [];
   run_until h 60.0;
@@ -264,7 +264,7 @@ let test_sender_timeout_go_back_n () =
   | first :: _ -> Alcotest.(check int) "resend from snd_una" (2 * 536) first
   | [] -> Alcotest.fail "expected retransmission");
   Alcotest.(check bool) "timeout counted" true
-    ((Tahoe_sender.stats h.sender).Tcp_stats.timeouts >= 1);
+    ((Tcp_sender.stats h.sender).Tcp_stats.timeouts >= 1);
   (match !(h.sent) with
   | (_, _, _, retx) :: _ -> ignore retx
   | [] -> ());
@@ -273,116 +273,116 @@ let test_sender_timeout_go_back_n () =
 
 let test_sender_timeout_backoff_doubles () =
   let h = make_harness () in
-  Tahoe_sender.start h.sender;
+  Tcp_sender.start h.sender;
   run_until h 1000.0;
-  let stats = Tahoe_sender.stats h.sender in
+  let stats = Tcp_sender.stats h.sender in
   Alcotest.(check bool) "several timeouts" true (stats.Tcp_stats.timeouts >= 3);
   Alcotest.(check bool) "backoff engaged" true
-    (Rto.backoff_multiplier (Tahoe_sender.rto h.sender) >= 8)
+    (Rto.backoff_multiplier (Tcp_sender.rto h.sender) >= 8)
 
 let test_sender_completion () =
   let h = make_harness ~total:(3 * 536) () in
   let completed = ref false in
-  Tahoe_sender.set_on_complete h.sender (fun () -> completed := true);
-  Tahoe_sender.start h.sender;
-  Tahoe_sender.handle_ack h.sender ~ack:536;
-  Tahoe_sender.handle_ack h.sender ~ack:(2 * 536);
-  Tahoe_sender.handle_ack h.sender ~ack:(3 * 536);
+  Tcp_sender.set_on_complete h.sender (fun () -> completed := true);
+  Tcp_sender.start h.sender;
+  Tcp_sender.handle_ack h.sender ~ack:536;
+  Tcp_sender.handle_ack h.sender ~ack:(2 * 536);
+  Tcp_sender.handle_ack h.sender ~ack:(3 * 536);
   Alcotest.(check bool) "completed" true !completed;
-  Alcotest.(check bool) "flag set" true (Tahoe_sender.completed h.sender);
-  Alcotest.(check bool) "timer cancelled" false (Tahoe_sender.timer_pending h.sender);
+  Alcotest.(check bool) "flag set" true (Tcp_sender.completed h.sender);
+  Alcotest.(check bool) "timer cancelled" false (Tcp_sender.timer_pending h.sender);
   (* Late acks are ignored. *)
-  Tahoe_sender.handle_ack h.sender ~ack:(3 * 536)
+  Tcp_sender.handle_ack h.sender ~ack:(3 * 536)
 
 let test_sender_karn_no_sample_on_retransmit () =
   let h = make_harness () in
-  Tahoe_sender.start h.sender;
+  Tcp_sender.start h.sender;
   run_until h 60.0;
   (* Only timeouts so far: no ack ever arrived, so no samples, and the
      retransmissions must not have produced any. *)
   Alcotest.(check int) "no rtt samples from retransmissions" 0
-    (Tahoe_sender.stats h.sender).Tcp_stats.rtt_samples;
+    (Tcp_sender.stats h.sender).Tcp_stats.rtt_samples;
   Alcotest.(check int) "initial rto still in force (no samples)" 0
-    (Rto.samples (Tahoe_sender.rto h.sender))
+    (Rto.samples (Tcp_sender.rto h.sender))
 
 let test_sender_rtt_sampling () =
   let h = make_harness () in
-  Tahoe_sender.start h.sender;
+  Tcp_sender.start h.sender;
   (* Deliver the ack half a second after the send. *)
   ignore
     (Simulator.schedule h.sim ~at:(Simtime.of_ns 500_000_000) (fun () ->
-         Tahoe_sender.handle_ack h.sender ~ack:536));
+         Tcp_sender.handle_ack h.sender ~ack:536));
   run_until h 1.0;
   Alcotest.(check int) "one sample" 1
-    (Tahoe_sender.stats h.sender).Tcp_stats.rtt_samples;
+    (Tcp_sender.stats h.sender).Tcp_stats.rtt_samples;
   (* 500 ms at a 100 ms tick: 1 + 5 ticks. *)
   Alcotest.(check (float 1e-9)) "srtt in ticks" 6.0
-    (Rto.srtt_ticks (Tahoe_sender.rto h.sender))
+    (Rto.srtt_ticks (Tcp_sender.rto h.sender))
 
 let test_sender_ebsn_resets_timer () =
   let h = make_harness () in
-  Tahoe_sender.start h.sender;
+  Tcp_sender.start h.sender;
   (* Without EBSN the first timeout fires at ~3 s (30 ticks).  Feed an
      EBSN just before each would-be expiry: no timeout ever fires. *)
   for i = 1 to 10 do
     ignore
       (Simulator.schedule h.sim
          ~at:(Simtime.of_ns (i * 2_500_000_000))
-         (fun () -> Tahoe_sender.handle_ebsn h.sender))
+         (fun () -> Tcp_sender.handle_ebsn h.sender))
   done;
   run_until h 27.0;
   Alcotest.(check int) "no timeouts while EBSNs flow" 0
-    (Tahoe_sender.stats h.sender).Tcp_stats.timeouts;
+    (Tcp_sender.stats h.sender).Tcp_stats.timeouts;
   Alcotest.(check int) "ebsn counted" 10
-    (Tahoe_sender.stats h.sender).Tcp_stats.ebsns_received;
+    (Tcp_sender.stats h.sender).Tcp_stats.ebsns_received;
   (* After the notifications stop, the timer eventually fires. *)
   run_until h 60.0;
   Alcotest.(check bool) "timeout after ebsn stream stops" true
-    ((Tahoe_sender.stats h.sender).Tcp_stats.timeouts > 0)
+    ((Tcp_sender.stats h.sender).Tcp_stats.timeouts > 0)
 
 let test_sender_ebsn_keeps_estimates () =
   let h = make_harness () in
-  Tahoe_sender.start h.sender;
-  Tahoe_sender.handle_ack h.sender ~ack:536;
-  let srtt_before = Rto.srtt_ticks (Tahoe_sender.rto h.sender) in
-  let backoff_before = Rto.backoff_multiplier (Tahoe_sender.rto h.sender) in
-  Tahoe_sender.handle_ebsn h.sender;
+  Tcp_sender.start h.sender;
+  Tcp_sender.handle_ack h.sender ~ack:536;
+  let srtt_before = Rto.srtt_ticks (Tcp_sender.rto h.sender) in
+  let backoff_before = Rto.backoff_multiplier (Tcp_sender.rto h.sender) in
+  Tcp_sender.handle_ebsn h.sender;
   Alcotest.(check (float 1e-9)) "srtt untouched" srtt_before
-    (Rto.srtt_ticks (Tahoe_sender.rto h.sender));
+    (Rto.srtt_ticks (Tcp_sender.rto h.sender));
   Alcotest.(check int) "backoff untouched" backoff_before
-    (Rto.backoff_multiplier (Tahoe_sender.rto h.sender));
+    (Rto.backoff_multiplier (Tcp_sender.rto h.sender));
   Alcotest.(check bool) "timer still pending" true
-    (Tahoe_sender.timer_pending h.sender)
+    (Tcp_sender.timer_pending h.sender)
 
 let test_sender_quench_collapses_cwnd () =
   let h = make_harness () in
-  Tahoe_sender.start h.sender;
-  Tahoe_sender.handle_ack h.sender ~ack:536;
-  Tahoe_sender.handle_ack h.sender ~ack:(2 * 536);
-  let ssthresh_before = Tahoe_sender.ssthresh_bytes h.sender in
+  Tcp_sender.start h.sender;
+  Tcp_sender.handle_ack h.sender ~ack:536;
+  Tcp_sender.handle_ack h.sender ~ack:(2 * 536);
+  let ssthresh_before = Tcp_sender.ssthresh_bytes h.sender in
   Alcotest.(check bool) "cwnd above one segment" true
-    (Tahoe_sender.cwnd_bytes h.sender > 536);
-  Tahoe_sender.handle_quench h.sender;
-  Alcotest.(check int) "cwnd = 1 mss" 536 (Tahoe_sender.cwnd_bytes h.sender);
+    (Tcp_sender.cwnd_bytes h.sender > 536);
+  Tcp_sender.handle_quench h.sender;
+  Alcotest.(check int) "cwnd = 1 mss" 536 (Tcp_sender.cwnd_bytes h.sender);
   Alcotest.(check int) "ssthresh unchanged" ssthresh_before
-    (Tahoe_sender.ssthresh_bytes h.sender)
+    (Tcp_sender.ssthresh_bytes h.sender)
 
 let test_sender_availability_limits () =
   let h = make_harness ~total:(10 * 536) () in
-  Tahoe_sender.restrict_available h.sender 536;
-  Tahoe_sender.start h.sender;
-  Tahoe_sender.handle_ack h.sender ~ack:536;
+  Tcp_sender.restrict_available h.sender 536;
+  Tcp_sender.start h.sender;
+  Tcp_sender.handle_ack h.sender ~ack:536;
   (* cwnd allows more, but only one segment of data exists. *)
   Alcotest.(check int) "nothing beyond available" (1 * 536)
-    (Tahoe_sender.snd_nxt h.sender);
-  Tahoe_sender.set_available h.sender (3 * 536);
+    (Tcp_sender.snd_nxt h.sender);
+  Tcp_sender.set_available h.sender (3 * 536);
   Alcotest.(check bool) "new data flows after set_available" true
-    (Tahoe_sender.snd_nxt h.sender > 536)
+    (Tcp_sender.snd_nxt h.sender > 536)
 
 let test_sender_short_final_segment () =
   let h = make_harness ~total:(536 + 100) () in
-  Tahoe_sender.start h.sender;
-  Tahoe_sender.handle_ack h.sender ~ack:536;
+  Tcp_sender.start h.sender;
+  Tcp_sender.handle_ack h.sender ~ack:536;
   let lens = List.rev_map (fun (_, _, len, _) -> len) !(h.sent) in
   Alcotest.(check (list int)) "short tail segment" [ 536; 100 ] lens
 
