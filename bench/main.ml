@@ -32,7 +32,10 @@
    the invariant checkers, plus the empty-fault-plan byte-identity
    check, recorded in BENCH_chaos.json), cc (Tahoe-via-Cc fig7/fig10
    byte-identity gate at jobs=1 and jobs=N plus a per-variant goodput
-   battery, recorded in BENCH_cc.json).  No target runs everything. *)
+   battery, recorded in BENCH_cc.json), cache (figure battery cold vs
+   warm through the content-addressed replication cache, verify-mode
+   replay of every hit, and the cc-table memo-dedup proof, recorded
+   in BENCH_cache.json).  No target runs everything. *)
 
 let replications = ref 10
 let jobs = ref (Core.Parallel.default_jobs ())
@@ -304,34 +307,37 @@ let micro () =
    byte-identity of the battery across jobs, and the pool's
    spawn-once property (total domains spawned <= jobs-1 for the whole
    process, via Parallel.Pool.stats). *)
-let parallel_bench () =
-  let timed f =
-    let t0 = Unix.gettimeofday () in
-    let y = f () in
-    (y, Unix.gettimeofday () -. t0)
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let y = f () in
+  (y, Unix.gettimeofday () -. t0)
+
+(* The fig7+fig10+fig11 battery rendered as one string: the unit of
+   work the parallel and cache targets time and compare byte for
+   byte. *)
+let figs_battery jobs =
+  let fig7 =
+    Core.Wan_sweep.to_csv
+      (Core.Fig7.compute ~replications:!replications ~jobs ())
   in
+  let basic10, ebsn10 =
+    Core.Fig10.compute ~replications:!replications ~jobs ()
+  in
+  let basic11, ebsn11 =
+    Core.Fig11.compute ~replications:!replications ~jobs ()
+  in
+  String.concat "\n"
+    [
+      fig7;
+      Core.Lan_sweep.to_csv [ basic10; ebsn10 ];
+      Core.Lan_sweep.to_csv [ basic11; ebsn11 ];
+    ]
+
+let parallel_bench () =
   let cores = Domain.recommended_domain_count () in
   let par_jobs = if !jobs_set then !jobs else Stdlib.max 1 cores in
-  let battery jobs =
-    let fig7 =
-      Core.Wan_sweep.to_csv
-        (Core.Fig7.compute ~replications:!replications ~jobs ())
-    in
-    let basic10, ebsn10 =
-      Core.Fig10.compute ~replications:!replications ~jobs ()
-    in
-    let basic11, ebsn11 =
-      Core.Fig11.compute ~replications:!replications ~jobs ()
-    in
-    String.concat "\n"
-      [
-        fig7;
-        Core.Lan_sweep.to_csv [ basic10; ebsn10 ];
-        Core.Lan_sweep.to_csv [ basic11; ebsn11 ];
-      ]
-  in
-  let seq_out, seq_sec = timed (fun () -> battery 1) in
-  let par_out, par_sec = timed (fun () -> battery par_jobs) in
+  let seq_out, seq_sec = timed (fun () -> figs_battery 1) in
+  let par_out, par_sec = timed (fun () -> figs_battery par_jobs) in
   let identical = seq_out = par_out in
   let speedup = if par_sec > 0.0 then seq_sec /. par_sec else 0.0 in
   let pool = Core.Parallel.Pool.stats () in
@@ -1066,6 +1072,187 @@ let cc_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Replication cache (BENCH_cache.json)                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Times the figure battery with the content-addressed replication
+   cache off, cold (empty store: every cell misses, simulates and is
+   stored), warm from disk (fresh process memo, every cell a disk
+   hit) and warm from the in-process memo, then replays the whole
+   battery under verify mode (every hit re-simulated and compared
+   byte for byte), and finally proves the cc cross table dedups the
+   baseline cells it shares with the cc ablation via the memo
+   counters.  Timings are recorded in BENCH_cache.json, never
+   asserted — the speedup is whatever the host gives.  What *is*
+   asserted is correctness: all battery outputs byte-identical, zero
+   verify failures, and nonzero hit/dedup counts where hits are the
+   point. *)
+let cache_bench () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "wtcp-bench-cache.%d" (Unix.getpid ()))
+  in
+  let fresh_counters () =
+    Core.Cache.memo_clear ();
+    Core.Cache.reset_stats ()
+  in
+  Core.Cache.set_dir dir;
+  ignore (Core.Cache_store.clear ~dir);
+  Core.Cache.set_mode Core.Cache.Off;
+  let off_out, off_sec = timed (fun () -> figs_battery !jobs) in
+  Core.Cache.set_mode Core.Cache.On;
+  fresh_counters ();
+  let cold_out, cold_sec = timed (fun () -> figs_battery !jobs) in
+  let cold = Core.Cache.stats () in
+  fresh_counters ();
+  let disk_out, disk_sec = timed (fun () -> figs_battery !jobs) in
+  let disk = Core.Cache.stats () in
+  Core.Cache.reset_stats ();
+  let memo_out, memo_sec = timed (fun () -> figs_battery !jobs) in
+  let memo = Core.Cache.stats () in
+  Core.Cache.set_mode Core.Cache.Verify;
+  fresh_counters ();
+  let verify_result =
+    match timed (fun () -> figs_battery !jobs) with
+    | out, sec -> Ok (out, sec)
+    | exception Core.Cache.Verify_mismatch { key; _ } -> Error key
+  in
+  let verify = Core.Cache.stats () in
+  (* Intra-invocation dedup proof: the cc cross table re-measures
+     every (basic|ebsn) × cc cell the cc ablation just measured, so
+     with a clean store those cells must come back as memo hits. *)
+  Core.Cache.set_mode Core.Cache.On;
+  ignore (Core.Cache_store.clear ~dir);
+  fresh_counters ();
+  ignore (Core.Ablations.cc ~replications:!replications ~jobs:!jobs ());
+  let after_cc = Core.Cache.stats () in
+  ignore (Core.Ablations.cc_table ~replications:!replications ~jobs:!jobs ());
+  let after_table = Core.Cache.stats () in
+  let shared_hits =
+    after_table.Core.Cache.memo_hits - after_cc.Core.Cache.memo_hits
+  in
+  Core.Cache.set_mode Core.Cache.Off;
+  Core.Cache.memo_clear ();
+  ignore (Core.Cache_store.clear ~dir);
+  Core.Cache.set_dir "_cache";
+  let verify_ok_run, verify_sec =
+    match verify_result with Ok (_, sec) -> (true, sec) | Error _ -> (false, 0.0)
+  in
+  let outputs_identical =
+    off_out = cold_out && cold_out = disk_out && disk_out = memo_out
+    && match verify_result with Ok (out, _) -> out = memo_out | Error _ -> false
+  in
+  let counters_ok =
+    cold.Core.Cache.misses > 0
+    && cold.Core.Cache.stores = cold.Core.Cache.misses
+    && disk.Core.Cache.disk_hits > 0
+    && disk.Core.Cache.misses = 0
+    && memo.Core.Cache.memo_hits > 0
+    && memo.Core.Cache.disk_hits = 0
+    && memo.Core.Cache.misses = 0
+    && verify.Core.Cache.verify_fail = 0
+    && verify.Core.Cache.verify_ok > 0
+    && shared_hits > 0
+  in
+  let speedup base sec = if sec > 0.0 then base /. sec else 0.0 in
+  section
+    (String.concat "\n"
+       [
+         Core.Report.heading
+           "Replication cache — figure battery cold vs warm";
+         Core.Report.table
+           ~columns:[ "config"; "wall-clock"; "vs cold"; "hits"; "misses" ]
+           ~rows:
+             [
+               [ "off"; Printf.sprintf "%.3f s" off_sec; "-"; "-"; "-" ];
+               [
+                 "cold (store+memo empty)";
+                 Printf.sprintf "%.3f s" cold_sec;
+                 "1.00x"; "0";
+                 string_of_int cold.Core.Cache.misses;
+               ];
+               [
+                 "warm (disk)";
+                 Printf.sprintf "%.3f s" disk_sec;
+                 Printf.sprintf "%.0fx" (speedup cold_sec disk_sec);
+                 string_of_int disk.Core.Cache.disk_hits;
+                 string_of_int disk.Core.Cache.misses;
+               ];
+               [
+                 "warm (memo)";
+                 Printf.sprintf "%.3f s" memo_sec;
+                 Printf.sprintf "%.0fx" (speedup cold_sec memo_sec);
+                 string_of_int memo.Core.Cache.memo_hits;
+                 string_of_int memo.Core.Cache.misses;
+               ];
+               [
+                 "verify (re-simulates hits)";
+                 Printf.sprintf "%.3f s" verify_sec;
+                 Printf.sprintf "%.2fx" (speedup cold_sec verify_sec);
+                 string_of_int verify.Core.Cache.verify_ok;
+                 string_of_int verify.Core.Cache.misses;
+               ];
+             ];
+         Core.Report.note
+           (Printf.sprintf
+              "reps=%d jobs=%d; outputs byte-identical across all modes: %b; \
+               verify divergences: %d"
+              !replications !jobs outputs_identical
+              verify.Core.Cache.verify_fail);
+         Core.Report.note
+           (Printf.sprintf
+              "cc table dedup: ablation-cc stored %d cells, ablation-cc-table \
+               then served %d of its cells from the in-process memo"
+              after_cc.Core.Cache.stores shared_hits);
+       ]);
+  Core.Report.write_atomic ~path:"BENCH_cache.json"
+    (Printf.sprintf
+       "{\n\
+       \  \"target\": \"cache\",\n\
+       \  \"replications\": %d,\n\
+       \  \"jobs\": %d,\n\
+       \  \"engine_version\": %S,\n\
+       \  \"off_sec\": %.3f,\n\
+       \  \"cold_sec\": %.3f,\n\
+       \  \"warm_disk_sec\": %.3f,\n\
+       \  \"warm_memo_sec\": %.3f,\n\
+       \  \"verify_sec\": %.3f,\n\
+       \  \"warm_disk_speedup\": %.1f,\n\
+       \  \"warm_memo_speedup\": %.1f,\n\
+       \  \"cold\": {\"misses\": %d, \"stores\": %d},\n\
+       \  \"warm_disk\": {\"disk_hits\": %d, \"misses\": %d},\n\
+       \  \"warm_memo\": {\"memo_hits\": %d, \"misses\": %d},\n\
+       \  \"verify\": {\"ok\": %d, \"fail\": %d, \"passed\": %b},\n\
+       \  \"cc_table_memo_dedup\": %d,\n\
+       \  \"outputs_identical\": %b\n\
+        }\n"
+       !replications !jobs Core.Fingerprint.engine_version off_sec cold_sec
+       disk_sec memo_sec verify_sec
+       (speedup cold_sec disk_sec)
+       (speedup cold_sec memo_sec)
+       cold.Core.Cache.misses cold.Core.Cache.stores
+       disk.Core.Cache.disk_hits disk.Core.Cache.misses
+       memo.Core.Cache.memo_hits memo.Core.Cache.misses
+       verify.Core.Cache.verify_ok verify.Core.Cache.verify_fail verify_ok_run
+       shared_hits outputs_identical);
+  print_endline "wrote BENCH_cache.json";
+  (match verify_result with
+  | Error key ->
+    Printf.eprintf "FAIL: cache verify diverged on entry %s\n" key
+  | Ok _ -> ());
+  if not outputs_identical then
+    prerr_endline "FAIL: cached battery output differs across cache modes";
+  if not counters_ok then
+    Printf.eprintf
+      "FAIL: cache counters inconsistent (cold %d/%d, disk %d/%d, memo %d, \
+       verify %d/%d, dedup %d)\n"
+      cold.Core.Cache.misses cold.Core.Cache.stores
+      disk.Core.Cache.disk_hits disk.Core.Cache.misses
+      memo.Core.Cache.memo_hits verify.Core.Cache.verify_ok
+      verify.Core.Cache.verify_fail shared_hits;
+  if not (outputs_identical && counters_ok && verify_ok_run) then exit 1
+
+(* ------------------------------------------------------------------ *)
 
 let targets =
   [
@@ -1097,6 +1284,7 @@ let targets =
     ("obs", obs_bench);
     ("chaos", chaos_bench);
     ("cc", cc_bench);
+    ("cache", cache_bench);
   ]
 
 let usage () =

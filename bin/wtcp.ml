@@ -6,7 +6,8 @@
      advisor  the paper's base-station packet-size table (§4.1)
      theory   theoretical maximum throughput for an error profile
      compare  all recovery schemes side by side on one scenario
-     chaos    campaign of seeded fault plans (graceful degradation) *)
+     chaos    campaign of seeded fault plans (graceful degradation)
+     cache    replication-cache maintenance (stats/clear/prune) *)
 
 open Cmdliner
 
@@ -111,6 +112,67 @@ let verbose_arg =
     & info [ "v"; "verbose" ]
         ~doc:"Log simulator events (timeouts, EBSNs, source sends) to \
               stderr while running.")
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt string "_cache"
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:"Location of the on-disk replication cache.")
+
+let cache_mode_arg =
+  Arg.(
+    value
+    & vflag None
+        [
+          ( Some Core.Cache.On,
+            info [ "cache" ]
+              ~doc:
+                "Serve replications from the content-addressed cache: \
+                 cells whose fingerprint (complete scenario + engine \
+                 version) was measured before are not re-simulated." );
+          ( Some Core.Cache.Off,
+            info [ "no-cache" ]
+              ~doc:"Disable the replication cache (the default)." );
+          ( Some Core.Cache.Verify,
+            info [ "cache-verify" ]
+              ~doc:
+                "Use the cache but re-simulate every hit and fail \
+                 (exit 1) on any byte divergence — a standing \
+                 determinism regression oracle." );
+        ])
+
+(* Evaluates before the command body: flags become process cache
+   state, which Sweep and the advisor consult transparently. *)
+let cache_setup_term =
+  let setup mode dir =
+    Core.Cache.set_dir dir;
+    match mode with Some m -> Core.Cache.set_mode m | None -> ()
+  in
+  Term.(const setup $ cache_mode_arg $ cache_dir_arg)
+
+(* Run a command body under the configured cache mode: print the hit
+   statistics afterwards, and turn a verify divergence into exit 1. *)
+let with_cache f =
+  match f () with
+  | () ->
+    if Core.Cache.active () then begin
+      let s = Core.Cache.stats () in
+      Printf.printf
+        "cache:      %d memo hits, %d disk hits, %d misses, %d deduped%s\n"
+        s.Core.Cache.memo_hits s.Core.Cache.disk_hits s.Core.Cache.misses
+        s.Core.Cache.deduped
+        (match Core.Cache.mode () with
+        | Core.Cache.Verify ->
+          Printf.sprintf ", %d verified" s.Core.Cache.verify_ok
+        | _ -> "")
+    end
+  | exception Core.Cache.Verify_mismatch { key; _ } ->
+    Printf.eprintf
+      "wtcp: cache verify FAILED: entry %s diverges from a fresh \
+       simulation\n"
+      key;
+    exit 1
 
 let cc_conv =
   let parse s =
@@ -345,7 +407,8 @@ let advisor_cmd =
       value & opt int 5
       & info [ "replications" ] ~docv:"N" ~doc:"Runs per data point.")
   in
-  let action bads replications jobs =
+  let action () bads replications jobs =
+    with_cache @@ fun () ->
     let table =
       Core.Packet_size_advisor.build_table ~replications ~jobs
         ~mean_bad_secs:bads ()
@@ -363,7 +426,7 @@ let advisor_cmd =
   Cmd.v
     (Cmd.info "advisor"
        ~doc:"Build the base station's packet-size table (paper §4.1)")
-    Term.(const action $ bads_arg $ reps_arg $ jobs_arg)
+    Term.(const action $ cache_setup_term $ bads_arg $ reps_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* theory                                                              *)
@@ -394,7 +457,8 @@ let compare_cmd =
       value & opt int 5
       & info [ "replications" ] ~docv:"N" ~doc:"Runs per scheme.")
   in
-  let action cc preset packet_size bad good file seed replications jobs =
+  let action () cc preset packet_size bad good file seed replications jobs =
+    with_cache @@ fun () ->
     Printf.printf "%-16s %10s %9s %9s %9s\n" "scheme" "tput kbps" "goodput"
       "retx KB" "timeouts";
     List.iter
@@ -417,8 +481,9 @@ let compare_cmd =
   Cmd.v
     (Cmd.info "compare" ~doc:"All recovery schemes side by side")
     Term.(
-      const action $ cc_arg $ preset_arg $ packet_size_arg $ bad_arg
-      $ good_arg $ file_arg $ seed_arg $ reps_arg $ jobs_arg)
+      const action $ cache_setup_term $ cc_arg $ preset_arg
+      $ packet_size_arg $ bad_arg $ good_arg $ file_arg $ seed_arg
+      $ reps_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* handoff                                                             *)
@@ -555,6 +620,55 @@ let chaos_cmd =
       $ no_check_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
+(* cache                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let cache_cmd =
+  let stats_action dir =
+    let s = Core.Cache_store.stats ~dir in
+    Printf.printf "dir:     %s\n" dir;
+    Printf.printf "engine:  %s\n" Core.Fingerprint.engine_version;
+    Printf.printf "entries: %d (%d bytes)\n" s.Core.Cache_store.entries
+      s.Core.Cache_store.bytes;
+    Printf.printf "stale:   %d (other engine versions)\n"
+      s.Core.Cache_store.stale;
+    Printf.printf "corrupt: %d\n" s.Core.Cache_store.corrupt
+  in
+  let clear_action dir =
+    Printf.printf "removed %d entries from %s\n"
+      (Core.Cache_store.clear ~dir) dir
+  in
+  let prune_action dir =
+    Printf.printf "pruned %d stale/corrupt entries from %s\n"
+      (Core.Cache_store.prune ~dir) dir
+  in
+  let stats_cmd =
+    Cmd.v
+      (Cmd.info "stats" ~doc:"Entry counts and sizes of the on-disk cache")
+      Term.(const stats_action $ cache_dir_arg)
+  in
+  let clear_cmd =
+    Cmd.v
+      (Cmd.info "clear" ~doc:"Remove every cache entry")
+      Term.(const clear_action $ cache_dir_arg)
+  in
+  let prune_cmd =
+    Cmd.v
+      (Cmd.info "prune"
+         ~doc:
+           "Remove only stale (other engine version) and corrupt entries, \
+            keeping valid ones")
+      Term.(const prune_action $ cache_dir_arg)
+  in
+  Cmd.group
+    ~default:Term.(const stats_action $ cache_dir_arg)
+    (Cmd.info "cache"
+       ~doc:
+         "Inspect or maintain the content-addressed replication cache \
+          (see $(b,--cache) on $(b,compare) and $(b,advisor))")
+    [ stats_cmd; clear_cmd; prune_cmd ]
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let info =
@@ -568,5 +682,5 @@ let () =
        (Cmd.group info
           [
             run_cmd; trace_cmd; advisor_cmd; theory_cmd; compare_cmd;
-            handoff_cmd; csdp_cmd; chaos_cmd;
+            handoff_cmd; csdp_cmd; chaos_cmd; cache_cmd;
           ]))

@@ -1,0 +1,29 @@
+(** Canonical scenario fingerprints for the replication cache.
+
+    A fingerprint is a stable, injective-by-construction text
+    rendering of the {e complete} identity of one simulation cell:
+    every {!Topology.Scenario.t} field (scheme, wired/wireless
+    parameters, channel and error model, ARQ configuration, the full
+    TCP configuration including the congestion-control knobs, the
+    workload and the seed), the effective fault plan, and an
+    engine-version salt.  Two cells get the same key exactly when the
+    deterministic engine guarantees them byte-identical outcomes.
+
+    Numbers are rendered exactly — integers in decimal, times as
+    nanosecond counts, floats through their IEEE-754 bit patterns —
+    so no formatting round-trip can alias two distinct scenarios. *)
+
+val engine_version : string
+(** The version salt baked into every fingerprint and every on-disk
+    cache entry.  Bump it whenever an engine or model change can
+    alter any simulation result: old entries then stop matching and
+    are treated as misses (and [wtcp cache prune] deletes them). *)
+
+val canonical : ?faults:Faults.Plan.t -> Topology.Scenario.t -> string
+(** The canonical rendering.  [faults] defaults to the process
+    default plan ({!Faults.Plan.default}); [None] and the empty plan
+    render identically because running under the empty plan is pinned
+    byte-identical to a plain run. *)
+
+val key : ?faults:Faults.Plan.t -> Topology.Scenario.t -> string
+(** MD5 of {!canonical} in lowercase hex: the cache key. *)

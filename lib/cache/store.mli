@@ -1,0 +1,40 @@
+(** On-disk tier of the replication cache.
+
+    Entries live under [dir/<k2>/<key>] where [k2] is the first two
+    hex digits of the key.  Each entry is a small text file carrying
+    a magic + engine-version header, the key it was stored under, the
+    payload, and a terminator line — so a truncated write, a garbled
+    file, a renamed file or an entry minted by a different engine
+    version all fail validation and read as a miss, never as wrong
+    data.  Writes go through a unique temporary file renamed into
+    place, so concurrent writers (multiple domains or processes) can
+    race on the same key without ever exposing a partial entry. *)
+
+val get : dir:string -> key:string -> string option
+(** The stored payload, or [None] on a missing, truncated, corrupt
+    or version-stale entry.  Never raises. *)
+
+val put : dir:string -> key:string -> string -> unit
+(** Store the payload atomically (temp file + rename), creating the
+    cache directories as needed.  I/O failures are swallowed — a
+    cache that cannot write degrades to a smaller cache, not to a
+    failed sweep. *)
+
+type stats = {
+  entries : int;  (** valid entries for the current engine version *)
+  bytes : int;  (** total size of valid entries *)
+  stale : int;  (** well-formed entries from another engine version *)
+  corrupt : int;  (** unreadable, truncated or mislabelled files *)
+}
+
+val stats : dir:string -> stats
+(** Classify every file under [dir].  A missing directory is an
+    empty cache. *)
+
+val clear : dir:string -> int
+(** Remove every cache file (valid, stale, corrupt and leftover
+    temporaries); returns how many were removed. *)
+
+val prune : dir:string -> int
+(** Remove only stale, corrupt and leftover temporary files, keeping
+    valid current-version entries; returns how many were removed. *)

@@ -95,6 +95,12 @@ module Fault_injector = Faults.Injector
 module Scenario = Topology.Scenario
 module Wiring = Topology.Wiring
 
+(** {1 Replication cache} *)
+
+module Fingerprint = Repcache.Fingerprint
+module Cache = Repcache.Cache
+module Cache_store = Repcache.Store
+
 (** {1 Metrics} *)
 
 module Summary = Metrics.Summary

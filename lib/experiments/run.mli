@@ -16,3 +16,20 @@ val measure : Topology.Scenario.t -> measurement
 
 val outcome_measurement : Topology.Wiring.outcome -> measurement
 (** Extract from an existing outcome. *)
+
+val measure_cached : Topology.Scenario.t -> measurement
+(** {!measure} through the replication cache: when the cache is
+    active ({!Repcache.Cache.active}), look the scenario's
+    fingerprint up first and only simulate on a miss (storing the
+    result); in verify mode every hit is re-simulated and any byte
+    divergence raises {!Repcache.Cache.Verify_mismatch}.  With the
+    cache off this is exactly [measure]. *)
+
+val measurement_to_string : measurement -> string
+(** Exact text codec used as the cache payload: floats are carried
+    as IEEE-754 bit patterns, so [measurement_of_string
+    (measurement_to_string m) = Some m] for every measurement,
+    including infinite durations. *)
+
+val measurement_of_string : string -> measurement option
+(** Decode a cache payload; [None] on any malformed input. *)

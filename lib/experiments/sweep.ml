@@ -23,7 +23,40 @@ let measurements_all ?(replications = default_replications) ?(jobs = 1)
             scenarios.(i / replications)
             ((1000 * (i mod replications)) + 17))
     in
-    let out = Sim_engine.Parallel.map_array ~jobs Run.measure runs in
+    let out =
+      if not (Repcache.Cache.active ()) then
+        Sim_engine.Parallel.map_array ~jobs Run.measure runs
+      else begin
+        (* Intra-batch dedup: identical cells (the ablation cross
+           tables share most of their baseline cells) simulate once
+           and fan back out by slot.  The key→slot mapping is built
+           before the parallel fan-out, so it is deterministic
+           regardless of steal interleaving. *)
+        let n = Array.length runs in
+        let first = Hashtbl.create (2 * n) in
+        let slot = Array.make n 0 in
+        let uniq = ref [] in
+        let n_uniq = ref 0 in
+        for i = 0 to n - 1 do
+          let key = Repcache.Fingerprint.key runs.(i) in
+          match Hashtbl.find_opt first key with
+          | Some j -> slot.(i) <- j
+          | None ->
+            Hashtbl.add first key !n_uniq;
+            slot.(i) <- !n_uniq;
+            uniq := i :: !uniq;
+            incr n_uniq
+        done;
+        if n > !n_uniq then Repcache.Cache.note_deduped (n - !n_uniq);
+        let uniq = Array.of_list (List.rev !uniq) in
+        let measured =
+          Sim_engine.Parallel.map_array ~jobs
+            (fun i -> Run.measure_cached runs.(i))
+            uniq
+        in
+        Array.init n (fun i -> measured.(slot.(i)))
+      end
+    in
     List.init n_scenarios (fun s ->
         List.init replications (fun r -> out.((s * replications) + r)))
   end

@@ -38,7 +38,14 @@ val measurements_all :
     ({!Sim_engine.Parallel.Pool}).  Sweep drivers prefer this over
     per-point [measurements]: one warm pool serves the whole matrix
     and each steal spans several replications.  Result [i] equals
-    [measurements scenario_i] exactly, at any [jobs]. *)
+    [measurements scenario_i] exactly, at any [jobs].
+
+    When the replication cache is active ({!Repcache.Cache.active})
+    the batch first dedups identical (scenario, seed) cells — each
+    unique cell simulates (or is served from cache via
+    {!Run.measure_cached}) exactly once and duplicates are filled by
+    copy, counted under the cache's [deduped] stat.  Because equal
+    cells are pinned byte-identical, the results are unchanged. *)
 
 val replicate_all :
   ?replications:int ->

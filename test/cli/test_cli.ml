@@ -37,7 +37,7 @@ let contains haystack needle =
 let () =
   let subcommands =
     [ "run"; "trace"; "advisor"; "theory"; "compare"; "handoff"; "csdp";
-      "chaos" ]
+      "chaos"; "cache"; "cache stats"; "cache clear"; "cache prune" ]
   in
   List.iter
     (fun sub ->
@@ -84,5 +84,32 @@ let () =
   let code, _ = run_wtcp "chaos --cc vegas --plans 2 --check" in
   check
     (Printf.sprintf "chaos --cc vegas exits 0 (got %d)" code)
+    (code = 0);
+  (* Replication cache: maintenance verbs are happy paths, a cold
+     --cache run populates the store, and --cache-verify then replays
+     every hit against a fresh simulation and must stay green. *)
+  let cache_dir = Filename.temp_file "wtcp_cli" ".cache" in
+  Sys.remove cache_dir;
+  let with_dir verb = Printf.sprintf "%s --cache-dir %s" verb cache_dir in
+  List.iter
+    (fun verb ->
+      let code, _ = run_wtcp (with_dir verb) in
+      check (Printf.sprintf "%s exits 0 (got %d)" verb code) (code = 0))
+    [ "cache"; "cache stats"; "cache clear"; "cache prune" ];
+  let code, _ =
+    run_wtcp (with_dir "compare --cache --replications 1 --file 20000")
+  in
+  check
+    (Printf.sprintf "compare --cache cold exits 0 (got %d)" code)
+    (code = 0);
+  let code, _ =
+    run_wtcp (with_dir "compare --cache-verify --replications 1 --file 20000")
+  in
+  check
+    (Printf.sprintf "compare --cache-verify warm exits 0 (got %d)" code)
+    (code = 0);
+  let code, _ = run_wtcp (with_dir "cache clear") in
+  check
+    (Printf.sprintf "cache clear after use exits 0 (got %d)" code)
     (code = 0);
   if !failures > 0 then exit 1
