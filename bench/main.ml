@@ -1253,6 +1253,221 @@ let cache_bench () =
   if not (outputs_identical && counters_ok && verify_ok_run) then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Supervised campaign runner (BENCH_supervise.json)                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Robustness gates for the supervisor, all against one chaos
+   campaign: (1) an interrupted-at-~50% run resumed from its manifest
+   must print byte-identically to the uninterrupted reference, at
+   jobs=1 and jobs=N; (2) a verify-mode resume must re-simulate every
+   restored cell with zero divergences; (3) a forced-deadline cell
+   must be retried with backoff then quarantined without failing the
+   campaign; (4) a killed worker and a poisoned cache entry must both
+   recover to the identical report.  Timings record what resume and
+   recovery cost relative to the straight run. *)
+let supervise_bench () =
+  let plans = Stdlib.max 4 !plans in
+  let root =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "wtcp_bench_supervise_%d" (Unix.getpid ()))
+  in
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+  in
+  let kind =
+    Core.Campaigns.Chaos { plans; base_seed = 1; cc = None; check = true }
+  in
+  let opts = Core.Campaigns.default_options in
+  let resume_opts = { opts with Core.Campaigns.resume = true } in
+  let store phase = Filename.concat root phase in
+  let run_campaign ?wave_size ?sabotage ?should_stop ~options ~jobs phase =
+    Core.Campaigns.run ~jobs ?wave_size ?sabotage ?should_stop
+      ~store_dir:(store phase) ~options kind
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  rm_rf root;
+  (* Reference: straight supervised run, jobs=1. *)
+  let ref_report, straight_sec =
+    time (fun () -> run_campaign ~options:opts ~jobs:1 "ref")
+  in
+  let identical r =
+    r.Core.Campaigns.rendered = ref_report.Core.Campaigns.rendered
+    && r.Core.Campaigns.json = ref_report.Core.Campaigns.json
+  in
+  (* Kill at ~50%: small waves so the interrupt poll actually fires
+     mid-campaign, then resume at jobs=1 and jobs=N. *)
+  let half = Stdlib.max 1 (plans / 2) in
+  let kill_recover jobs phase =
+    let interrupted =
+      run_campaign ~wave_size:2
+        ~should_stop:(fun ~completed -> completed >= half)
+        ~options:opts ~jobs phase
+    in
+    let resumed, sec =
+      time (fun () -> run_campaign ~options:resume_opts ~jobs phase)
+    in
+    (interrupted, resumed, sec)
+  in
+  let int1, res1, resume1_sec = kill_recover 1 "kill1" in
+  let intn, resn, _ = kill_recover !jobs "killN" in
+  let kill_ok =
+    int1.Core.Campaigns.interrupted && intn.Core.Campaigns.interrupted
+    && identical res1 && identical resn
+    && res1.Core.Campaigns.resumed > 0
+  in
+  (* Resume overhead: re-resuming the finished jobs=1 campaign (every
+     cell restored from the store, nothing simulated). *)
+  let warm, warm_resume_sec =
+    time (fun () -> run_campaign ~options:resume_opts ~jobs:1 "kill1")
+  in
+  let warm_ok = identical warm && warm.Core.Campaigns.completed = 0 in
+  (* Verify-mode resume: every restored cell re-simulates and must
+     match its checkpoint byte for byte. *)
+  Core.Cache.reset_stats ();
+  Core.Cache.set_mode Core.Cache.Verify;
+  let verify_report, verify_outcome =
+    match run_campaign ~options:resume_opts ~jobs:1 "kill1" with
+    | r -> (Some r, Ok ())
+    | exception Core.Cache.Verify_mismatch { key; _ } -> (None, Error key)
+  in
+  Core.Cache.set_mode Core.Cache.Off;
+  let vstats = Core.Cache.stats () in
+  let verify_ok =
+    verify_outcome = Ok ()
+    && (match verify_report with Some r -> identical r | None -> false)
+    && vstats.Core.Cache.verify_ok = plans
+    && vstats.Core.Cache.verify_fail = 0
+  in
+  (* Forced deadline: cell 1 pinned to a 1-event budget on every
+     attempt — retried with backoff, then quarantined; the campaign
+     itself stays ok. *)
+  Core.Supervisor.reset_stats ();
+  let deadline_report =
+    run_campaign
+      ~sabotage:
+        {
+          Core.Supervisor.no_sabotage with
+          Core.Supervisor.force_deadline_cell = Some 1;
+        }
+      ~options:{ opts with Core.Campaigns.retries = 2 }
+      ~jobs:1 "deadline"
+  in
+  let s = Core.Supervisor.stats () in
+  let deadline_ok =
+    deadline_report.Core.Campaigns.quarantined = 1
+    && deadline_report.Core.Campaigns.ok
+    && s.Core.Supervisor.deadline_hits >= 2
+    && s.Core.Supervisor.retries >= 1
+    && s.Core.Supervisor.backoff_ms > 0
+  in
+  (* Worker killed mid-cell: retried transparently, identical report. *)
+  let killed_report =
+    run_campaign
+      ~sabotage:
+        {
+          Core.Supervisor.no_sabotage with
+          Core.Supervisor.kill_cell = Some 0;
+        }
+      ~options:opts ~jobs:1 "worker"
+  in
+  (* Poisoned checkpoint: the store entry is corrupted after its
+     flush; the resume must heal it by re-simulation. *)
+  let _poisoned =
+    run_campaign
+      ~sabotage:
+        {
+          Core.Supervisor.no_sabotage with
+          Core.Supervisor.poison_cell = Some 0;
+        }
+      ~options:opts ~jobs:1 "poison"
+  in
+  let healed_report =
+    run_campaign ~options:resume_opts ~jobs:1 "poison"
+  in
+  let sabotage_ok = identical killed_report && identical healed_report in
+  let all_ok = kill_ok && warm_ok && verify_ok && deadline_ok && sabotage_ok in
+  Core.Supervisor.record_metrics (Obs.Registry.create ());
+  section
+    (String.concat "\n"
+       [
+         Core.Report.heading "Supervise — checkpoint/resume and quarantine";
+         Core.Report.note
+           (Printf.sprintf
+              "plans=%d jobs=%d; straight %.2fs, resume-after-kill %.2fs, \
+               warm resume %.2fs (%.0f%% of straight)"
+              plans !jobs straight_sec resume1_sec warm_resume_sec
+              (100.0 *. warm_resume_sec /. Float.max 1e-9 straight_sec));
+         Core.Report.note
+           (Printf.sprintf
+              "kill@50%%+resume identical (jobs=1 and jobs=%d): %b; warm \
+               resume identical: %b; verify-mode resume ok: %b"
+              !jobs kill_ok warm_ok verify_ok);
+         Core.Report.note
+           (Printf.sprintf
+              "forced deadline quarantined without failing campaign: %b \
+               (deadline_hits=%d retries=%d backoff_ms=%d); kill/poison \
+               recovery identical: %b"
+              deadline_ok s.Core.Supervisor.deadline_hits
+              s.Core.Supervisor.retries s.Core.Supervisor.backoff_ms
+              sabotage_ok);
+       ]);
+  Core.Report.write_atomic ~path:"BENCH_supervise.json"
+    (Printf.sprintf
+       "{\n\
+       \  \"target\": \"supervise\",\n\
+       \  \"plans\": %d,\n\
+       \  \"jobs\": %d,\n\
+       \  \"engine_version\": %S,\n\
+       \  \"straight_sec\": %.3f,\n\
+       \  \"resume_after_kill_sec\": %.3f,\n\
+       \  \"warm_resume_sec\": %.3f,\n\
+       \  \"resume_overhead\": %.3f,\n\
+       \  \"kill_resume_identical\": %b,\n\
+       \  \"warm_resume_identical\": %b,\n\
+       \  \"verify\": {\"ok\": %d, \"fail\": %d, \"passed\": %b},\n\
+       \  \"deadline\": {\"quarantined\": %d, \"campaign_ok\": %b, \
+        \"deadline_hits\": %d, \"retries\": %d, \"backoff_ms\": %d},\n\
+       \  \"sabotage_recovery_identical\": %b,\n\
+       \  \"ok\": %b\n\
+        }\n"
+       plans !jobs Core.Fingerprint.engine_version straight_sec resume1_sec
+       warm_resume_sec
+       (warm_resume_sec /. Float.max 1e-9 straight_sec)
+       kill_ok warm_ok vstats.Core.Cache.verify_ok
+       vstats.Core.Cache.verify_fail verify_ok
+       deadline_report.Core.Campaigns.quarantined
+       deadline_report.Core.Campaigns.ok s.Core.Supervisor.deadline_hits
+       s.Core.Supervisor.retries s.Core.Supervisor.backoff_ms sabotage_ok
+       all_ok);
+  print_endline "wrote BENCH_supervise.json";
+  rm_rf root;
+  if not kill_ok then
+    prerr_endline "FAIL: kill@50%+resume diverged from the straight run";
+  if not warm_ok then prerr_endline "FAIL: warm resume diverged or re-simulated";
+  (match verify_outcome with
+  | Error key ->
+    Printf.eprintf "FAIL: verify-mode resume diverged on entry %s\n" key
+  | Ok () ->
+    if not verify_ok then
+      Printf.eprintf "FAIL: verify-mode resume counters (ok=%d fail=%d)\n"
+        vstats.Core.Cache.verify_ok vstats.Core.Cache.verify_fail);
+  if not deadline_ok then
+    prerr_endline "FAIL: forced-deadline cell not quarantined as expected";
+  if not sabotage_ok then
+    prerr_endline "FAIL: kill/poison sabotage did not recover identically";
+  if not all_ok then exit 1
+
+(* ------------------------------------------------------------------ *)
 
 let targets =
   [
@@ -1285,6 +1500,7 @@ let targets =
     ("chaos", chaos_bench);
     ("cc", cc_bench);
     ("cache", cache_bench);
+    ("supervise", supervise_bench);
   ]
 
 let usage () =

@@ -7,6 +7,7 @@
      theory   theoretical maximum throughput for an error profile
      compare  all recovery schemes side by side on one scenario
      chaos    campaign of seeded fault plans (graceful degradation)
+     resume   restart an interrupted supervised campaign from its manifest
      cache    replication-cache maintenance (stats/clear/prune) *)
 
 open Cmdliner
@@ -232,6 +233,130 @@ let scenario_term =
     $ deterministic_arg)
 
 (* ------------------------------------------------------------------ *)
+(* Supervised-campaign flags (compare / advisor / chaos / resume)      *)
+(* ------------------------------------------------------------------ *)
+
+(* Strict-flag convention: a custom conv makes a malformed or
+   out-of-range value a cmdliner parse error, which exits 124 like an
+   unknown flag. *)
+let positive_int_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | _ ->
+      Error (`Msg (Printf.sprintf "expected a positive integer, got %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let supervised_arg =
+  Arg.(
+    value & flag
+    & info [ "supervised" ]
+        ~doc:
+          "Run the campaign under the supervisor: completed cells are \
+           checkpointed through the replication cache plus a campaign \
+           manifest, SIGINT/SIGTERM flushes a partial report (exit 130), \
+           and $(b,wtcp resume) restarts from the manifest re-simulating \
+           only the missing cells.  Implied by $(b,--deadline), \
+           $(b,--retries) and $(b,--resume).")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some positive_int_conv) None
+    & info [ "deadline" ] ~docv:"EVENTS"
+        ~doc:
+          "Per-cell deadline as a simulated-event budget, enforced \
+           cooperatively inside the engine so determinism is untouched.  \
+           A cell that exhausts it is retried with backoff at a relaxed \
+           budget, then quarantined.")
+
+let retries_arg =
+  Arg.(
+    value
+    & opt (some positive_int_conv) None
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Total attempts per cell before it is quarantined (default 3).")
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Reuse the campaign's surviving manifest: cells it checkpointed \
+           are restored from the cache, only the rest re-simulate.  \
+           Without this flag a fresh run deletes any old manifest.")
+
+let supervise_term =
+  let assemble supervised deadline retries resume =
+    if supervised || resume || deadline <> None || retries <> None then
+      Some
+        {
+          Core.Campaigns.deadline;
+          retries =
+            Option.value retries
+              ~default:Core.Campaigns.default_options.Core.Campaigns.retries;
+          backoff_ms = Core.Campaigns.default_options.Core.Campaigns.backoff_ms;
+          resume;
+        }
+    else None
+  in
+  Term.(
+    const assemble $ supervised_arg $ deadline_arg $ retries_arg $ resume_arg)
+
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Write the campaign report as JSON to $(docv) (atomic \
+              temp-file + rename).")
+
+(* SIGINT/SIGTERM set a flag the supervisor polls between waves, so an
+   interrupt flushes the manifest and partial report instead of
+   killing the process mid-write. *)
+let install_interrupt () =
+  let stop = Atomic.make false in
+  let arm signal =
+    try Sys.set_signal signal (Sys.Signal_handle (fun _ -> Atomic.set stop true))
+    with Invalid_argument _ | Sys_error _ -> ()
+  in
+  arm Sys.sigint;
+  arm Sys.sigterm;
+  fun ~completed:_ -> Atomic.get stop
+
+let run_supervised ?(exit_on_fail = false) ?manifest_dir ~jobs ~json options
+    kind =
+  let should_stop = install_interrupt () in
+  match Core.Campaigns.run ~jobs ?manifest_dir ~should_stop ~options kind with
+  | exception Core.Cache.Verify_mismatch { key; _ } ->
+    Printf.eprintf
+      "wtcp: campaign verify FAILED: entry %s diverges from a fresh \
+       simulation\n"
+      key;
+    exit 1
+  | report ->
+    print_string report.Core.Campaigns.rendered;
+    (match (json, report.Core.Campaigns.json) with
+    | Some path, Some doc ->
+      Core.Report.write_atomic ~path doc;
+      Printf.printf "json: %s\n" path
+    | _ -> ());
+    Printf.printf "supervisor: %d/%d cells settled (%d resumed, %d \
+                   quarantined)\n"
+      (report.Core.Campaigns.completed + report.Core.Campaigns.resumed)
+      report.Core.Campaigns.total report.Core.Campaigns.resumed
+      report.Core.Campaigns.quarantined;
+    if report.Core.Campaigns.interrupted then begin
+      (match report.Core.Campaigns.manifest_path with
+      | Some path -> Printf.printf "interrupted; resume with: wtcp resume %s\n" path
+      | None -> ());
+      exit 130
+    end;
+    if exit_on_fail && not report.Core.Campaigns.ok then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* run                                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -407,26 +532,33 @@ let advisor_cmd =
       value & opt int 5
       & info [ "replications" ] ~docv:"N" ~doc:"Runs per data point.")
   in
-  let action () bads replications jobs =
-    with_cache @@ fun () ->
-    let table =
-      Core.Packet_size_advisor.build_table ~replications ~jobs
-        ~mean_bad_secs:bads ()
-    in
-    print_endline "bad(s)  best packet size  throughput";
-    List.iter
-      (fun e ->
-        Printf.printf "%-7.1f %-17d %.2f kbit/s (%+.0f%% vs worst)\n"
-          e.Core.Packet_size_advisor.mean_bad_sec
-          e.Core.Packet_size_advisor.best_size
-          (e.Core.Packet_size_advisor.best_throughput_bps /. 1e3)
-          (100.0 *. e.Core.Packet_size_advisor.gain_over_worst))
-      table
+  let action () bads replications jobs supervise =
+    match supervise with
+    | Some options ->
+      run_supervised ~jobs ~json:None options
+        (Core.Campaigns.Advisor { bads; replications })
+    | None ->
+      with_cache @@ fun () ->
+      let table =
+        Core.Packet_size_advisor.build_table ~replications ~jobs
+          ~mean_bad_secs:bads ()
+      in
+      print_endline "bad(s)  best packet size  throughput";
+      List.iter
+        (fun e ->
+          Printf.printf "%-7.1f %-17d %.2f kbit/s (%+.0f%% vs worst)\n"
+            e.Core.Packet_size_advisor.mean_bad_sec
+            e.Core.Packet_size_advisor.best_size
+            (e.Core.Packet_size_advisor.best_throughput_bps /. 1e3)
+            (100.0 *. e.Core.Packet_size_advisor.gain_over_worst))
+        table
   in
   Cmd.v
     (Cmd.info "advisor"
        ~doc:"Build the base station's packet-size table (paper §4.1)")
-    Term.(const action $ cache_setup_term $ bads_arg $ reps_arg $ jobs_arg)
+    Term.(
+      const action $ cache_setup_term $ bads_arg $ reps_arg $ jobs_arg
+      $ supervise_term)
 
 (* ------------------------------------------------------------------ *)
 (* theory                                                              *)
@@ -457,33 +589,48 @@ let compare_cmd =
       value & opt int 5
       & info [ "replications" ] ~docv:"N" ~doc:"Runs per scheme.")
   in
-  let action () cc preset packet_size bad good file seed replications jobs =
-    with_cache @@ fun () ->
-    Printf.printf "%-16s %10s %9s %9s %9s\n" "scheme" "tput kbps" "goodput"
-      "retx KB" "timeouts";
-    List.iter
-      (fun scheme ->
-        let scenario =
-          build_scenario ~cc preset scheme packet_size bad good file seed false
-        in
-        let measurements = Core.Sweep.measurements ~replications ~jobs scenario in
-        let metric f =
-          (Core.Summary.of_list (List.map f measurements)).Core.Summary.mean
-        in
-        Printf.printf "%-16s %10.2f %9.3f %9.1f %9.1f\n"
-          (Core.Scenario.scheme_name scheme)
-          (metric Core.Sweep.throughput /. 1e3)
-          (metric Core.Sweep.goodput)
-          (metric Core.Sweep.retransmitted_kbytes)
-          (metric Core.Sweep.timeouts))
-      Core.Scenario.all_schemes
+  let action () cc preset packet_size bad good file seed replications jobs
+      supervise =
+    match supervise with
+    | Some options ->
+      let preset =
+        match preset with
+        | Wan -> Core.Campaigns.Wan
+        | Lan -> Core.Campaigns.Lan
+      in
+      run_supervised ~jobs ~json:None options
+        (Core.Campaigns.Compare
+           { preset; packet_size; bad; good; file; seed; replications; cc })
+    | None ->
+      with_cache @@ fun () ->
+      Printf.printf "%-16s %10s %9s %9s %9s\n" "scheme" "tput kbps" "goodput"
+        "retx KB" "timeouts";
+      List.iter
+        (fun scheme ->
+          let scenario =
+            build_scenario ~cc preset scheme packet_size bad good file seed
+              false
+          in
+          let measurements =
+            Core.Sweep.measurements ~replications ~jobs scenario
+          in
+          let metric f =
+            (Core.Summary.of_list (List.map f measurements)).Core.Summary.mean
+          in
+          Printf.printf "%-16s %10.2f %9.3f %9.1f %9.1f\n"
+            (Core.Scenario.scheme_name scheme)
+            (metric Core.Sweep.throughput /. 1e3)
+            (metric Core.Sweep.goodput)
+            (metric Core.Sweep.retransmitted_kbytes)
+            (metric Core.Sweep.timeouts))
+        Core.Scenario.all_schemes
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"All recovery schemes side by side")
     Term.(
       const action $ cache_setup_term $ cc_arg $ preset_arg
       $ packet_size_arg $ bad_arg $ good_arg $ file_arg $ seed_arg
-      $ reps_arg $ jobs_arg)
+      $ reps_arg $ jobs_arg $ supervise_term)
 
 (* ------------------------------------------------------------------ *)
 (* handoff                                                             *)
@@ -591,24 +738,21 @@ let chaos_cmd =
           ~doc:"Disable the invariant checkers (campaign still fails on \
                 uncaught exceptions).")
   in
-  let json_arg =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "json" ] ~docv:"FILE"
-          ~doc:"Write the campaign report as JSON to $(docv) (atomic \
-                temp-file + rename).")
-  in
-  let action cc plans base_seed jobs check no_check json_path =
+  let action () cc plans base_seed jobs check no_check json_path supervise =
     let check = check || not no_check in
-    let results = Core.Chaos.campaign ~plans ~base_seed ~jobs ~check ~cc () in
-    print_string (Core.Chaos.render results);
-    (match json_path with
-    | Some path ->
-      Core.Report.write_atomic ~path (Core.Chaos.to_json results);
-      Printf.printf "json: %s\n" path
-    | None -> ());
-    if not (Core.Chaos.ok results) then exit 1
+    match supervise with
+    | Some options ->
+      run_supervised ~exit_on_fail:true ~jobs ~json:json_path options
+        (Core.Campaigns.Chaos { plans; base_seed; cc = Some cc; check })
+    | None ->
+      let results = Core.Chaos.campaign ~plans ~base_seed ~jobs ~check ~cc () in
+      print_string (Core.Chaos.render results);
+      (match json_path with
+      | Some path ->
+        Core.Report.write_atomic ~path (Core.Chaos.to_json results);
+        Printf.printf "json: %s\n" path
+      | None -> ());
+      if not (Core.Chaos.ok results) then exit 1
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -616,8 +760,64 @@ let chaos_cmd =
              EBSN loss, queue overflow, handoffs — every plan must end in \
              a well-defined state")
     Term.(
-      const action $ cc_arg $ plans_arg $ seed_arg $ jobs_arg $ check_arg
-      $ no_check_arg $ json_arg)
+      const action $ cache_setup_term $ cc_arg $ plans_arg $ seed_arg
+      $ jobs_arg $ check_arg $ no_check_arg $ json_arg $ supervise_term)
+
+(* ------------------------------------------------------------------ *)
+(* resume                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let resume_cmd =
+  let manifest_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"MANIFEST"
+          ~doc:
+            "Path to the campaign manifest an interrupted supervised run \
+             left behind (printed on interrupt, under \
+             $(b,<cache-dir>/campaigns/) by default).")
+  in
+  let action () manifest jobs deadline retries json_path =
+    match Core.Campaign_manifest.load ~path:manifest with
+    | Error msg ->
+      Printf.eprintf "wtcp: cannot resume %s: %s\n" manifest msg;
+      exit 1
+    | Ok m -> (
+      let spec = m.Core.Campaign_manifest.header.Core.Campaign_manifest.spec in
+      match Core.Campaigns.kind_of_spec spec with
+      | Error msg ->
+        Printf.eprintf "wtcp: cannot resume %s: %s\n" manifest msg;
+        exit 1
+      | Ok kind ->
+        let options =
+          {
+            Core.Campaigns.default_options with
+            Core.Campaigns.deadline;
+            retries =
+              Option.value retries
+                ~default:
+                  Core.Campaigns.default_options.Core.Campaigns.retries;
+            resume = true;
+          }
+        in
+        let exit_on_fail =
+          match kind with Core.Campaigns.Chaos _ -> true | _ -> false
+        in
+        run_supervised ~exit_on_fail
+          ~manifest_dir:(Filename.dirname manifest)
+          ~jobs ~json:json_path options kind)
+  in
+  Cmd.v
+    (Cmd.info "resume"
+       ~doc:
+         "Restart an interrupted supervised campaign from its manifest, \
+          re-simulating only the cells it had not checkpointed.  The \
+          finished report is byte-identical to an uninterrupted run at \
+          any $(b,--jobs).")
+    Term.(
+      const action $ cache_setup_term $ manifest_arg $ jobs_arg
+      $ deadline_arg $ retries_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* cache                                                               *)
@@ -634,13 +834,21 @@ let cache_cmd =
       s.Core.Cache_store.stale;
     Printf.printf "corrupt: %d\n" s.Core.Cache_store.corrupt
   in
+  let report_skipped (s : Core.Cache_store.sweep) =
+    if s.Core.Cache_store.skipped > 0 then
+      Printf.printf "skipped %d undeletable entries (damaged tree)\n"
+        s.Core.Cache_store.skipped
+  in
   let clear_action dir =
-    Printf.printf "removed %d entries from %s\n"
-      (Core.Cache_store.clear ~dir) dir
+    let s = Core.Cache_store.clear ~dir in
+    Printf.printf "removed %d entries from %s\n" s.Core.Cache_store.removed dir;
+    report_skipped s
   in
   let prune_action dir =
+    let s = Core.Cache_store.prune ~dir in
     Printf.printf "pruned %d stale/corrupt entries from %s\n"
-      (Core.Cache_store.prune ~dir) dir
+      s.Core.Cache_store.removed dir;
+    report_skipped s
   in
   let stats_cmd =
     Cmd.v
@@ -682,5 +890,5 @@ let () =
        (Cmd.group info
           [
             run_cmd; trace_cmd; advisor_cmd; theory_cmd; compare_cmd;
-            handoff_cmd; csdp_cmd; chaos_cmd; cache_cmd;
+            handoff_cmd; csdp_cmd; chaos_cmd; resume_cmd; cache_cmd;
           ]))

@@ -138,12 +138,19 @@ let classify path =
       | Some _ -> Stale
       | None -> Corrupt)
 
+(* A damaged tree — entries vanishing mid-walk, unreadable
+   subdirectories, files where directories should be — is exactly
+   when the maintenance verbs run, so every stat on the walk is
+   guarded: an entry we cannot inspect is skipped, never a reason to
+   abort with the sweep half done. *)
+let is_directory path = try Sys.is_directory path with Sys_error _ -> false
+
 let iter_files ~dir f =
-  if Sys.file_exists dir && Sys.is_directory dir then
+  if is_directory dir then
     Array.iter
       (fun sub ->
         let subpath = Filename.concat dir sub in
-        if Sys.is_directory subpath then
+        if is_directory subpath then
           Array.iter
             (fun file -> f (Filename.concat subpath file))
             (try Sys.readdir subpath with Sys_error _ -> [||]))
@@ -160,17 +167,23 @@ let stats ~dir =
       | Corrupt | Tmp -> incr corrupt);
   { entries = !entries; bytes = !bytes; stale = !stale; corrupt = !corrupt }
 
+type sweep = { removed : int; skipped : int }
+
 let remove_matching ~dir keep =
-  let removed = ref 0 in
+  let removed = ref 0 and skipped = ref 0 in
   iter_files ~dir (fun path ->
       if not (keep (classify path)) then (
-        try
-          Sys.remove path;
-          incr removed
-        with Sys_error _ -> ()));
-  !removed
+        match Sys.remove path with
+        | () -> incr removed
+        | exception Sys_error _ ->
+          (* Undeletable (permission, or a directory squatting on an
+             entry path): report it and keep sweeping. *)
+          incr skipped));
+  { removed = !removed; skipped = !skipped }
 
 let clear ~dir = remove_matching ~dir (fun _ -> false)
 
 let prune ~dir =
   remove_matching ~dir (function Valid _ -> true | Stale | Corrupt | Tmp -> false)
+
+let entry_path = path_of_key

@@ -29,12 +29,28 @@ type stats = {
 
 val stats : dir:string -> stats
 (** Classify every file under [dir].  A missing directory is an
-    empty cache. *)
+    empty cache.  Entries that cannot be read count as corrupt;
+    entries or subdirectories that vanish mid-walk are skipped — the
+    walk never aborts on a damaged tree. *)
 
-val clear : dir:string -> int
+type sweep = {
+  removed : int;  (** files actually deleted *)
+  skipped : int;  (** files that could not be deleted (permission,
+                      a directory squatting on an entry path, ...) *)
+}
+
+val clear : dir:string -> sweep
 (** Remove every cache file (valid, stale, corrupt and leftover
-    temporaries); returns how many were removed. *)
+    temporaries).  Undeletable files are counted in [skipped], never
+    raised on: a damaged tree degrades the sweep, it does not abort
+    it. *)
 
-val prune : dir:string -> int
+val prune : dir:string -> sweep
 (** Remove only stale, corrupt and leftover temporary files, keeping
-    valid current-version entries; returns how many were removed. *)
+    valid current-version entries; same degradation contract as
+    {!clear}. *)
+
+val entry_path : dir:string -> key:string -> string
+(** Where {!put} stores [key]'s entry — exposed for the supervisor's
+    checkpoint poisoning sabotage and for tests that need to damage
+    entries deliberately. *)

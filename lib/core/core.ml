@@ -130,3 +130,9 @@ module Chaos = Experiments.Chaos
 (** {1 Packet-size selection (§4.1)} *)
 
 module Packet_size_advisor = Packet_size_advisor
+
+(** {1 Supervised campaigns (deadlines, retry, checkpoint/resume)} *)
+
+module Supervisor = Supervise.Supervisor
+module Campaign_manifest = Supervise.Manifest
+module Campaigns = Supervise.Campaigns

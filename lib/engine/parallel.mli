@@ -50,7 +50,18 @@ module Pool : sig
       additional domains) if [jobs] exceeds every earlier request;
       never shrinks, never re-spawns an existing slot.  [jobs]
       defaults to {!default_jobs}[ () + 1] workers including the
-      caller.  Must be called from the main domain. *)
+      caller.  Must be called from the main domain.
+
+      If spawning a helper raises (domain limit, out of memory), the
+      exception propagates but the pool stays consistent: helpers
+      already spawned remain registered and the creation lock is
+      released, so a subsequent [get] / [map] retries the missing
+      slots cleanly instead of deadlocking. *)
+
+  val fail_spawns_for_tests : int -> unit
+  (** Make the next [n] helper spawns raise [Failure] — test support
+      for the spawn-failure recovery path, which real resource
+      exhaustion would otherwise make untestable. *)
 
   val jobs : t -> int
   (** Workers available to a batch: spawned helpers + the caller. *)

@@ -10,6 +10,7 @@ type t = {
          add_invariant is O(1) and the per-event checked-mode sweep
          iterates a flat array *)
   mutable executed_total : int;
+  budget : int;  (* lifetime event budget; [max_int] = unlimited *)
   mutable finalizers_rev : (unit -> unit) list;  (* newest first *)
 }
 
@@ -24,6 +25,8 @@ type fault_report = {
 
 exception Fault of fault_report
 
+exception Budget_exhausted of { budget : int; executed : int }
+
 let () =
   Printexc.register_printer (function
     | Fault r ->
@@ -32,7 +35,36 @@ let () =
            "Simulator.Fault at t=%dns after %d events (%d pending): %s"
            (Simtime.to_ns r.at) r.events_executed r.pending_events
            (Printexc.to_string r.error))
+    | Budget_exhausted { budget; executed } ->
+      Some
+        (Printf.sprintf
+           "Simulator.Budget_exhausted: event budget %d spent after %d events"
+           budget executed)
     | _ -> None)
+
+(* The default event budget is domain-local so a supervisor can give
+   each cell attempt its own deadline tier while pool workers run
+   cells concurrently.  [max_int] means unlimited; the budget is read
+   once, at [create], so it never changes mid-run. *)
+let default_budget_key = Domain.DLS.new_key (fun () -> max_int)
+
+let set_default_budget budget =
+  Domain.DLS.set default_budget_key
+    (match budget with
+    | None -> max_int
+    | Some n ->
+      if n < 1 then invalid_arg "Simulator.set_default_budget: budget < 1";
+      n)
+
+let default_budget () =
+  match Domain.DLS.get default_budget_key with
+  | n when n = max_int -> None
+  | n -> Some n
+
+let with_budget budget f =
+  let saved = Domain.DLS.get default_budget_key in
+  set_default_budget budget;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set default_budget_key saved) f
 
 type event = Event_queue.handle
 
@@ -48,6 +80,7 @@ let create ?(seed = 1) () =
     invariants_rev = [];
     invariants = None;
     executed_total = 0;
+    budget = Domain.DLS.get default_budget_key;
     finalizers_rev = [];
   }
 
@@ -84,6 +117,12 @@ let run_invariants t =
   Array.iter (fun f -> f ()) checks
 
 let step t =
+  (* The budget check costs one comparison per event and raises
+     {e before} popping, so an exhausted run leaves the queue intact:
+     the deadline is a property of how much work was allowed, not of
+     which event happened to be next. *)
+  if t.executed_total >= t.budget then
+    raise (Budget_exhausted { budget = t.budget; executed = t.executed_total });
   (* Unboxed pop: [next_time_ns] settles the queue's next-event cache,
      so the [take_exn] right after it is a cache hit — no [Some (time,
      value)] pair is ever allocated on this path. *)

@@ -47,7 +47,9 @@ val pending_events : t -> int
 
 val step : t -> bool
 (** Execute the earliest pending event.  Returns [false] if none was
-    pending. *)
+    pending.
+    @raise Budget_exhausted if the simulator was created under an
+    event budget (see {!set_default_budget}) and has spent it. *)
 
 type fault_report = {
   error : exn;  (** the exception the event handler raised *)
@@ -66,6 +68,32 @@ exception Fault of fault_report
     Registered finalizers have already run by the time this
     propagates; the original exception and backtrace are carried in
     the report. *)
+
+(** {2 Event budgets (cooperative deadlines)} *)
+
+exception Budget_exhausted of { budget : int; executed : int }
+(** Raised by {!step} (and therefore out of {!run}, wrapped as
+    {!Fault} like any other in-run exception) when a simulator has
+    executed its full event budget.  The check runs {e before} the
+    next event pops, so the queue and clock are left exactly as the
+    last allowed event left them — an exhausted run is a deterministic
+    function of the seed and the budget, which is what lets a
+    supervisor retry the same cell at a relaxed budget tier. *)
+
+val set_default_budget : int option -> unit
+(** Set the event budget that {e subsequently created} simulators on
+    the {e current domain} inherit: [Some n] allows [n] events over
+    the simulator's lifetime, [None] (the initial state) is unlimited.
+    Domain-local on purpose: pool workers can run different cells
+    under different deadline tiers concurrently.
+    @raise Invalid_argument if [n < 1]. *)
+
+val default_budget : unit -> int option
+(** The current domain's default budget. *)
+
+val with_budget : int option -> (unit -> 'a) -> 'a
+(** [with_budget b f] runs [f] with the domain's default budget set to
+    [b], restoring the previous default afterwards (also on raise). *)
 
 val add_finalizer : t -> (unit -> unit) -> unit
 (** Register a cleanup action run (in registration order) before

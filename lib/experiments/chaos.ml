@@ -83,6 +83,11 @@ let run_spec ~check spec =
       events_executed = outcome.Wiring.events_executed;
       throughput_bps = Wiring.throughput_bps outcome;
     }
+  | exception (Sim_engine.Simulator.Budget_exhausted _ as e) ->
+    (* A deadline expiry must escape: the supervisor retries the cell
+       at a relaxed budget tier, so swallowing it into [Uncaught] here
+       would turn every deadline into a permanent campaign failure. *)
+    raise e
   | exception exn ->
     {
       spec;
@@ -91,6 +96,140 @@ let run_spec ~check spec =
       events_executed = 0;
       throughput_bps = 0.0;
     }
+
+(* ------------------------------------------------------------------ *)
+(* Exact text codec                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* One campaign cell as a single line, used as the checkpoint payload
+   by the supervised runner.  Free-text fields (rendered faults,
+   uncaught messages, violation names) are percent-encoded so the
+   line stays space-splittable; the throughput travels as its IEEE-754
+   bit pattern so decode(encode r) = r exactly.  The spec itself is
+   NOT part of the payload — campaigns regenerate specs
+   deterministically from (plans, base_seed, cc), and the cache key
+   already pins the full cell identity. *)
+
+let encode_token s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '/' | '-' | '=' ->
+        Buffer.add_char b c
+      | c -> Buffer.add_string b (Printf.sprintf "%%%02x" (Char.code c)))
+    s;
+  Buffer.contents b
+
+let decode_token s =
+  let n = String.length s in
+  let b = Buffer.create n in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> raise Exit
+  in
+  let rec go i =
+    if i < n then
+      if s.[i] = '%' && i + 2 < n then begin
+        Buffer.add_char b (Char.chr ((hex s.[i + 1] * 16) + hex s.[i + 2]));
+        go (i + 3)
+      end
+      else begin
+        Buffer.add_char b s.[i];
+        go (i + 1)
+      end
+  in
+  match go 0 with
+  | () -> Some (Buffer.contents b)
+  | exception Exit -> None
+
+let kind_of_name name =
+  List.find_opt
+    (fun k -> Error_model.Fault.kind_name k = name)
+    Error_model.Fault.all_kinds
+
+let result_to_string r =
+  let status =
+    match r.status with
+    | Clean { completed = true } -> "C1"
+    | Clean { completed = false } -> "C0"
+    | Faulted { violation; rendered } ->
+      Printf.sprintf "F %s %s"
+        (match violation with None -> "-" | Some v -> encode_token v)
+        (encode_token rendered)
+    | Uncaught msg -> Printf.sprintf "U %s" (encode_token msg)
+  in
+  let injected =
+    match r.injected with
+    | [] -> "-"
+    | l ->
+      String.concat ","
+        (List.map
+           (fun (k, n) ->
+             Printf.sprintf "%s:%d" (Error_model.Fault.kind_name k) n)
+           l)
+  in
+  Printf.sprintf "c1 %d %Ld %s %s" r.events_executed
+    (Int64.bits_of_float r.throughput_bps)
+    injected status
+
+let parse_injected inj =
+  if inj = "-" then Some []
+  else
+    List.fold_right
+      (fun part acc ->
+        match acc with
+        | None -> None
+        | Some tl -> (
+          match String.index_opt part ':' with
+          | None -> None
+          | Some i -> (
+            let name = String.sub part 0 i in
+            let count = String.sub part (i + 1) (String.length part - i - 1) in
+            match (kind_of_name name, int_of_string_opt count) with
+            | Some k, Some n -> Some ((k, n) :: tl)
+            | _ -> None)))
+      (String.split_on_char ',' inj)
+      (Some [])
+
+let result_of_string spec raw =
+  let ( let* ) = Option.bind in
+  match String.split_on_char ' ' raw with
+  | "c1" :: ev :: tput :: inj :: status ->
+    let* events_executed = int_of_string_opt ev in
+    let* bits = Int64.of_string_opt tput in
+    let* injected = parse_injected inj in
+    let* status =
+      match status with
+      | [ "C1" ] -> Some (Clean { completed = true })
+      | [ "C0" ] -> Some (Clean { completed = false })
+      | [ "F"; viol; rendered ] ->
+        let* rendered = decode_token rendered in
+        let* violation =
+          if viol = "-" then Some None
+          else
+            match decode_token viol with
+            | Some v -> Some (Some v)
+            | None -> None
+        in
+        Some (Faulted { violation; rendered })
+      | [ "U"; msg ] ->
+        let* msg = decode_token msg in
+        Some (Uncaught msg)
+      | _ -> None
+    in
+    Some
+      {
+        spec;
+        status;
+        injected;
+        events_executed;
+        throughput_bps = Int64.float_of_bits bits;
+      }
+  | _ -> None
 
 let campaign ?(plans = 50) ?(base_seed = 1) ?(jobs = 1) ?(check = true) ?cc () =
   let specs = specs ?cc ~plans ~base_seed () in

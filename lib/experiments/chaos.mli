@@ -36,6 +36,18 @@ type run_result = {
   throughput_bps : float;
 }
 
+val specs :
+  ?cc:Tcp_tahoe.Tcp_config.cc -> plans:int -> base_seed:int -> unit ->
+  spec list
+(** The campaign's cell specs, regenerated deterministically from
+    [(plans, base_seed, cc)] — which is what lets a resumed campaign
+    rebuild exactly the cells its manifest checkpointed. *)
+
+val run_spec : check:bool -> spec -> run_result
+(** Run one cell.  Per-run exceptions are captured into {!Uncaught} —
+    except {!Sim_engine.Simulator.Budget_exhausted}, which re-raises
+    so a supervisor can retry the cell at a relaxed deadline tier. *)
+
 val campaign :
   ?plans:int -> ?base_seed:int -> ?jobs:int -> ?check:bool ->
   ?cc:Tcp_tahoe.Tcp_config.cc -> unit ->
@@ -61,3 +73,23 @@ val to_json : ?extra:(string * string) list -> run_result list -> string
     run).  [extra] key/raw-value pairs are spliced into the top-level
     object — the bench target records its identity-check results
     there. *)
+
+val injected_totals : run_result list -> (Error_model.Fault.kind * int) list
+(** Applied-fault counts summed across runs, omitting kinds that
+    never fired, in {!Error_model.Fault.all_kinds} order. *)
+
+val json_escape : string -> string
+(** JSON string-body escaping used by {!to_json} — shared with the
+    supervised campaign renderer so both emit identical documents. *)
+
+val result_to_string : run_result -> string
+(** Exact single-line codec for one cell (spec excluded — specs
+    regenerate from the campaign parameters): floats travel as
+    IEEE-754 bit patterns, free text percent-encoded, so
+    [result_of_string spec (result_to_string r) = Some r] whenever
+    [r.spec = spec].  Used as the supervised campaign's checkpoint
+    payload. *)
+
+val result_of_string : spec -> string -> run_result option
+(** Decode a checkpoint payload, re-attaching [spec]; [None] on any
+    malformed input. *)

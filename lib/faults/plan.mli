@@ -6,7 +6,14 @@
     never collides with the simulator root stream), and applying a
     plan draws no randomness at all, so fault injection perturbs
     neither channel nor TCP randomness: a run under the {!empty} plan
-    is byte-identical to a run with no fault machinery installed. *)
+    is byte-identical to a run with no fault machinery installed.
+
+    Plans target the {e simulated network}.  Faults against the
+    {e harness itself} — a killed worker domain, a poisoned cache
+    entry, a cell forced past its event budget — are injected one
+    level up by [Supervise.Supervisor.sabotage], which reuses the
+    same discipline: sabotage is fixed before the campaign starts and
+    never perturbs what a surviving cell computes. *)
 
 type target = Down | Up | Both
 (** Which wireless direction a fault hits. *)

@@ -493,7 +493,18 @@ let run ?obs ?faults (scenario : Scenario.t) =
       (* Under fault injection a failing component yields a partial
          outcome carrying the report.  Without it, callers (tests, the
          obs mutation canary) expect the original exception — e.g. an
-         [Obs.Invariant.Violation] — so unwrap and re-raise it. *)
+         [Obs.Invariant.Violation] — so unwrap and re-raise it.
+
+         An exhausted event budget is the exception to the exception:
+         a deadline is a supervisor-level condition, not a component
+         fault, so it must reach the caller even under injection —
+         otherwise a chaos campaign could never distinguish "cell hit
+         its deadline" from "cell degraded gracefully". *)
+      (match report.Simulator.error with
+      | Simulator.Budget_exhausted _ ->
+        Printexc.raise_with_backtrace report.Simulator.error
+          report.Simulator.backtrace
+      | _ -> ());
       if Option.is_some injector then Some report
       else
         Printexc.raise_with_backtrace report.Simulator.error

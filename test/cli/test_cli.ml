@@ -37,7 +37,8 @@ let contains haystack needle =
 let () =
   let subcommands =
     [ "run"; "trace"; "advisor"; "theory"; "compare"; "handoff"; "csdp";
-      "chaos"; "cache"; "cache stats"; "cache clear"; "cache prune" ]
+      "chaos"; "resume x.manifest"; "cache"; "cache stats"; "cache clear";
+      "cache prune" ]
   in
   List.iter
     (fun sub ->
@@ -62,6 +63,19 @@ let () =
         (Printf.sprintf "%s: bad --cc names the valid variants" sub)
         (contains err "tahoe" && contains err "vegas"))
     [ "run"; "compare"; "handoff"; "chaos" ];
+  (* Supervision flags follow the strict-flag convention: a malformed
+     or out-of-range value is a parse error (exit 124), on every
+     subcommand that accepts them. *)
+  List.iter
+    (fun sub ->
+      List.iter
+        (fun flag ->
+          let code, _ = run_wtcp (Printf.sprintf "%s %s" sub flag) in
+          check
+            (Printf.sprintf "%s: bad %s exits 124 (got %d)" sub flag code)
+            (code = 124))
+        [ "--deadline bogus"; "--deadline 0"; "--retries bogus"; "--retries 0" ])
+    [ "compare"; "advisor"; "chaos"; "resume x.manifest" ];
   let code, err = run_wtcp "frobnicate" in
   check
     (Printf.sprintf "unknown subcommand exits 124 (got %d)" code)
@@ -112,4 +126,49 @@ let () =
   check
     (Printf.sprintf "cache clear after use exits 0 (got %d)" code)
     (code = 0);
+  (* Supervised campaign + resume happy path: a finished supervised
+     chaos campaign leaves a manifest; resuming it restores every
+     cell and writes a byte-identical JSON report. *)
+  let json_a = Filename.temp_file "wtcp_cli" ".json" in
+  let json_b = Filename.temp_file "wtcp_cli" ".json" in
+  let code, _ =
+    run_wtcp
+      (with_dir
+         (Printf.sprintf "chaos --plans 2 --supervised --json %s"
+            (Filename.quote json_a)))
+  in
+  check
+    (Printf.sprintf "supervised chaos exits 0 (got %d)" code)
+    (code = 0);
+  let manifest =
+    let dir = Filename.concat cache_dir "campaigns" in
+    match Sys.readdir dir with
+    | [| m |] -> Some (Filename.concat dir m)
+    | _ | (exception Sys_error _) -> None
+  in
+  check "supervised chaos left exactly one manifest" (manifest <> None);
+  (match manifest with
+  | None -> ()
+  | Some path ->
+    let code, _ =
+      run_wtcp
+        (with_dir
+           (Printf.sprintf "resume --json %s %s" (Filename.quote json_b)
+              (Filename.quote path)))
+    in
+    check (Printf.sprintf "resume exits 0 (got %d)" code) (code = 0);
+    let slurp p =
+      let ic = open_in_bin p in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s
+    in
+    check "resume JSON byte-identical to supervised run"
+      (slurp json_a = slurp json_b));
+  Sys.remove json_a;
+  Sys.remove json_b;
+  let code, _ = run_wtcp "resume /nonexistent/path.manifest" in
+  check
+    (Printf.sprintf "resume on a missing manifest exits 1 (got %d)" code)
+    (code = 1);
   if !failures > 0 then exit 1

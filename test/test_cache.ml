@@ -358,14 +358,54 @@ let test_store_clear_prune () =
     "stats classify valid/stale/corrupt"
     [ 1; 1; 1 ]
     [ s.Store.entries; s.Store.stale; s.Store.corrupt ];
-  Alcotest.(check int) "prune removes exactly the bad ones" 2 (Store.prune ~dir);
+  let swept = Store.prune ~dir in
+  Alcotest.(check int) "prune removes exactly the bad ones" 2 swept.Store.removed;
+  Alcotest.(check int) "prune skipped nothing" 0 swept.Store.skipped;
   Alcotest.(check (option string))
     "valid entry survives prune" (Some "keep me\n")
     (Store.get ~dir ~key:valid_key);
-  Alcotest.(check int) "clear removes the rest" 1 (Store.clear ~dir);
+  Alcotest.(check int) "clear removes the rest" 1 (Store.clear ~dir).Store.removed;
   Alcotest.(check bool)
     "store empty after clear" true
     ((Store.stats ~dir).Store.entries = 0)
+
+(* Satellite regression: a damaged tree — a truncated entry next to an
+   undeletable one (a directory squatting on an entry path: reads fail
+   with EISDIR, and so does Sys.remove) — must degrade the walk, not
+   abort it.  [chmod 000] is no use here (tests may run as root), the
+   squatting directory fails for every uid. *)
+let test_store_damaged_tree_degrades () =
+  with_cache_dir @@ fun dir ->
+  let valid_key = String.make 32 '1' in
+  let truncated_key = String.make 32 '2' in
+  let squatted_key = String.make 32 '3' in
+  Store.put ~dir ~key:valid_key "keep me\n";
+  Store.put ~dir ~key:truncated_key "about to be torn\n";
+  let tpath = Store.entry_path ~dir ~key:truncated_key in
+  let full = In_channel.with_open_bin tpath In_channel.input_all in
+  Out_channel.with_open_bin tpath (fun oc ->
+      Out_channel.output_string oc (String.sub full 0 (String.length full - 3)));
+  let spath = Store.entry_path ~dir ~key:squatted_key in
+  let sdir = Filename.dirname spath in
+  if not (Sys.file_exists sdir) then Sys.mkdir sdir 0o755;
+  Sys.mkdir spath 0o755;
+  (* stats: both damaged files classify as corrupt, neither aborts. *)
+  let s = Store.stats ~dir in
+  Alcotest.(check int) "valid entry still counted" 1 s.Store.entries;
+  Alcotest.(check int) "truncated + squatted classify corrupt" 2 s.Store.corrupt;
+  (* prune: removes the truncated file, reports the undeletable one,
+     keeps the valid entry — and returns instead of raising. *)
+  let swept = Store.prune ~dir in
+  Alcotest.(check int) "prune removed the truncated entry" 1 swept.Store.removed;
+  Alcotest.(check int) "prune reported the undeletable one" 1 swept.Store.skipped;
+  Alcotest.(check (option string))
+    "valid entry survives the damaged-tree prune" (Some "keep me\n")
+    (Store.get ~dir ~key:valid_key);
+  (* clear: same degradation contract over the remaining files. *)
+  let swept = Store.clear ~dir in
+  Alcotest.(check int) "clear removed the valid entry" 1 swept.Store.removed;
+  Alcotest.(check int) "clear still reports the squatter" 1 swept.Store.skipped;
+  Sys.rmdir spath
 
 (* ------------------------------------------------------------------ *)
 (* Cached sweep path                                                   *)
@@ -576,6 +616,8 @@ let () =
           Alcotest.test_case "damaged entries are misses" `Quick
             test_store_rejects_damage;
           Alcotest.test_case "clear and prune" `Quick test_store_clear_prune;
+          Alcotest.test_case "damaged tree degrades, never aborts" `Quick
+            test_store_damaged_tree_degrades;
         ] );
       ( "sweep",
         [

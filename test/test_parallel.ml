@@ -218,6 +218,25 @@ let test_pool_exception_propagation () =
     (Array.map succ xs)
     (Parallel.Pool.submit_map pool succ xs)
 
+let test_pool_spawn_failure_resets () =
+  (* A Domain.spawn failure mid-grow must leave the pool consistent:
+     the exception propagates, no helper slot is half-registered, and
+     the very next map at the same jobs retries the spawn and
+     succeeds. *)
+  let target = (Parallel.Pool.stats ()).Parallel.Pool.domains_spawned + 2 in
+  Parallel.Pool.shutdown ();
+  Parallel.Pool.fail_spawns_for_tests 1;
+  (match Parallel.Pool.get ~jobs:target () with
+  | _ -> Alcotest.fail "expected injected spawn failure"
+  | exception Failure _ -> ());
+  Parallel.Pool.fail_spawns_for_tests 0;
+  let xs = Array.init 96 Fun.id in
+  let pool = Parallel.Pool.get ~jobs:target () in
+  Alcotest.(check (array int)) "pool recovers after spawn failure"
+    (Array.map succ xs)
+    (Parallel.Pool.submit_map pool succ xs);
+  Parallel.Pool.shutdown ()
+
 let test_pool_shutdown_restart () =
   let before = Parallel.Pool.stats () in
   Parallel.Pool.shutdown ();
@@ -266,6 +285,8 @@ let () =
           Alcotest.test_case "metrics group" `Quick test_pool_metrics;
           Alcotest.test_case "exception and backtrace" `Quick
             test_pool_exception_propagation;
+          Alcotest.test_case "spawn failure resets cleanly" `Quick
+            test_pool_spawn_failure_resets;
           Alcotest.test_case "shutdown and restart" `Quick
             test_pool_shutdown_restart;
         ] );

@@ -1,0 +1,473 @@
+(* Tests for the supervised campaign runner: the manifest codec
+   (torn-tail tolerance included), deadline enforcement through the
+   simulator's event budget, retry tiers that rescue transient
+   deadline misses, quarantine of deterministic failures, the
+   sabotage injectors (killed worker, poisoned checkpoint), and the
+   headline contract — an interrupted-and-resumed campaign is
+   byte-identical to an uninterrupted one at any jobs, pinned by a
+   qcheck property that kills at a random cell index.
+
+   Supervisor state that is process-global (cache mode, counters) is
+   restored on the way out of every test that touches it. *)
+
+open Core
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+(* Fresh temp root per test: store under <root>/store, manifests under
+   <root>/manifests, removed on exit. *)
+let with_dirs f =
+  let root = Filename.temp_file "wtcp_supervise_test" "" in
+  Sys.remove root;
+  Sys.mkdir root 0o755;
+  let store = Filename.concat root "store" in
+  let manifests = Filename.concat root "manifests" in
+  Fun.protect ~finally:(fun () -> rm_rf root) (fun () -> f ~store ~manifests)
+
+(* ------------------------------------------------------------------ *)
+(* Manifest                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_manifest_roundtrip () =
+  with_dirs @@ fun ~store:_ ~manifests ->
+  let path = Campaign_manifest.path ~dir:manifests ~id:"abc123" in
+  let spec = "chaos plans=4 seed=1 cc=tahoe check=1" in
+  let t = Campaign_manifest.create ~path ~id:"abc123" ~spec ~cells:4 in
+  Campaign_manifest.append t ~idx:0
+    (Campaign_manifest.Done { key = "deadbeef" });
+  Campaign_manifest.append t ~idx:2
+    (Campaign_manifest.Quarantined
+       { attempts = 3; error = "Simulator.Fault: boom, with spaces\nand \
+                                a newline" });
+  Campaign_manifest.flush t;
+  Campaign_manifest.close t;
+  match Campaign_manifest.load ~path with
+  | Error msg -> Alcotest.failf "load failed: %s" msg
+  | Ok m ->
+    Alcotest.(check string) "id" "abc123" m.Campaign_manifest.header.id;
+    Alcotest.(check string) "spec" spec m.Campaign_manifest.header.spec;
+    Alcotest.(check int) "cells" 4 m.Campaign_manifest.header.cells;
+    (match m.Campaign_manifest.entries.(0) with
+    | Some (Campaign_manifest.Done { key }) ->
+      Alcotest.(check string) "done key" "deadbeef" key
+    | _ -> Alcotest.fail "cell 0 not Done");
+    Alcotest.(check bool) "cell 1 unsettled" true
+      (m.Campaign_manifest.entries.(1) = None);
+    (match m.Campaign_manifest.entries.(2) with
+    | Some (Campaign_manifest.Quarantined { attempts; error }) ->
+      Alcotest.(check int) "attempts" 3 attempts;
+      Alcotest.(check bool) "error text survives encoding" true
+        (String.length error > 0
+        && String.contains error ' '
+        && String.contains error '\n')
+    | _ -> Alcotest.fail "cell 2 not Quarantined")
+
+let test_manifest_torn_tail () =
+  with_dirs @@ fun ~store:_ ~manifests ->
+  let path = Campaign_manifest.path ~dir:manifests ~id:"torn" in
+  let t = Campaign_manifest.create ~path ~id:"torn" ~spec:"spec x=1" ~cells:3 in
+  Campaign_manifest.append t ~idx:0 (Campaign_manifest.Done { key = "k0" });
+  Campaign_manifest.append t ~idx:1 (Campaign_manifest.Done { key = "k1" });
+  Campaign_manifest.flush t;
+  Campaign_manifest.close t;
+  (* Tear the final line mid-write: the loader must drop it and keep
+     the intact prefix. *)
+  let ic = open_in_bin path in
+  let full = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let torn = String.sub full 0 (String.length full - 4) in
+  let oc = open_out_bin path in
+  output_string oc torn;
+  close_out oc;
+  (match Campaign_manifest.load ~path with
+  | Error msg -> Alcotest.failf "torn load failed: %s" msg
+  | Ok m ->
+    Alcotest.(check bool) "cell 0 survives" true
+      (m.Campaign_manifest.entries.(0)
+      = Some (Campaign_manifest.Done { key = "k0" }));
+    Alcotest.(check bool) "torn cell 1 dropped" true
+      (m.Campaign_manifest.entries.(1) = None));
+  (* A manifest minted by another engine version is refused whole. *)
+  let oc = open_out_bin path in
+  output_string oc "wtcp-campaign wtcp-engine-0.0.1\nid torn\nspec spec \
+                    x=1\ncells 3\n";
+  close_out oc;
+  match Campaign_manifest.load ~path with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "stale engine version accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Supervisor core                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Cheap deterministic cells: simulate runs a small simulation whose
+   event count scales with the payload, so event budgets bite
+   predictably. *)
+let sim_cell ?(events = 5) i =
+  let simulate () =
+    let sim = Simulator.create () in
+    let count = ref 0 in
+    let rec arm k =
+      if k < events then
+        ignore
+          (Simulator.schedule sim
+             ~at:(Simtime.add (Simulator.now sim) (Simtime.span_sec 0.001))
+             (fun () ->
+               incr count;
+               arm (k + 1)))
+    in
+    arm 0;
+    Simulator.run sim;
+    (i * 1000) + !count
+  in
+  {
+    Supervisor.key = Printf.sprintf "cell%04d" i;
+    simulate;
+    encode = string_of_int;
+    decode = int_of_string_opt;
+  }
+
+let test_supervised_equals_sequential () =
+  let cells = Array.init 20 sim_cell in
+  let expect = Array.map (fun c -> c.Supervisor.simulate ()) cells in
+  List.iter
+    (fun jobs ->
+      let r = Supervisor.run ~jobs cells in
+      Alcotest.(check int) "all settled" 20 r.Supervisor.completed;
+      Array.iteri
+        (fun i o ->
+          match o with
+          | Some (Supervisor.Done v) ->
+            Alcotest.(check int)
+              (Printf.sprintf "cell %d at jobs=%d" i jobs)
+              expect.(i) v
+          | _ -> Alcotest.failf "cell %d not Done at jobs=%d" i jobs)
+        r.Supervisor.outcomes)
+    [ 1; 4 ]
+
+let test_deadline_quarantine () =
+  let before = Supervisor.stats () in
+  (* 10-event cells against a 4-event budget relaxed only 2x per
+     retry: 4 -> 8 over 2 attempts, every attempt exhausts, the cell
+     quarantines. *)
+  let config =
+    {
+      Supervisor.default_config with
+      Supervisor.deadline_events = Some 4;
+      max_attempts = 2;
+      relax_factor = 2;
+      backoff_base_ms = 1.0;
+    }
+  in
+  let cells = Array.init 2 (sim_cell ~events:10) in
+  let r = Supervisor.run ~config cells in
+  Alcotest.(check int) "both quarantined" 2 r.Supervisor.quarantined;
+  Array.iter
+    (fun o ->
+      match o with
+      | Some (Supervisor.Quarantined { attempts; error }) ->
+        Alcotest.(check int) "attempts exhausted" 2 attempts;
+        Alcotest.(check bool) "error names the budget" true
+          (String.length error > 0)
+      | _ -> Alcotest.fail "expected quarantine")
+    r.Supervisor.outcomes;
+  let after = Supervisor.stats () in
+  Alcotest.(check bool) "deadline hits counted" true
+    (after.Supervisor.deadline_hits - before.Supervisor.deadline_hits >= 4);
+  Alcotest.(check bool) "retries counted" true
+    (after.Supervisor.retries - before.Supervisor.retries >= 2);
+  Alcotest.(check bool) "quarantines counted" true
+    (after.Supervisor.quarantined - before.Supervisor.quarantined = 2)
+
+let test_relaxed_budget_rescues () =
+  (* 10-event cells, budget 4 relaxed 8x on retry: attempt 1 exhausts,
+     attempt 2 (budget 32) succeeds — retry tiers rescue cells the
+     base deadline is too tight for. *)
+  let config =
+    {
+      Supervisor.default_config with
+      Supervisor.deadline_events = Some 4;
+      backoff_base_ms = 1.0;
+    }
+  in
+  let cells = Array.init 3 (sim_cell ~events:10) in
+  let r = Supervisor.run ~config cells in
+  Alcotest.(check int) "none quarantined" 0 r.Supervisor.quarantined;
+  Array.iteri
+    (fun i o ->
+      match o with
+      | Some (Supervisor.Done v) ->
+        Alcotest.(check int) "value intact" ((i * 1000) + 10) v
+      | _ -> Alcotest.fail "expected Done")
+    r.Supervisor.outcomes
+
+let test_kill_sabotage_recovers () =
+  let cells = Array.init 4 sim_cell in
+  let expect = Array.map (fun c -> c.Supervisor.simulate ()) cells in
+  let config =
+    { Supervisor.default_config with Supervisor.backoff_base_ms = 1.0 }
+  in
+  let sabotage =
+    { Supervisor.no_sabotage with Supervisor.kill_cell = Some 2 }
+  in
+  let r = Supervisor.run ~config ~sabotage cells in
+  Alcotest.(check int) "none quarantined" 0 r.Supervisor.quarantined;
+  Array.iteri
+    (fun i o ->
+      match o with
+      | Some (Supervisor.Done v) -> Alcotest.(check int) "value" expect.(i) v
+      | _ -> Alcotest.fail "expected Done")
+    r.Supervisor.outcomes
+
+let test_checkpoint_resume_and_poison_heal () =
+  with_dirs @@ fun ~store ~manifests ->
+  let spec = "test cells=8" in
+  let cells () = Array.init 8 sim_cell in
+  let full =
+    Supervisor.run ~spec ~store_dir:store ~manifest_dir:manifests (cells ())
+  in
+  Alcotest.(check int) "first run simulates all" 8 full.Supervisor.completed;
+  (* Same campaign again: everything restores, nothing simulates. *)
+  let again =
+    Supervisor.run ~spec ~store_dir:store ~manifest_dir:manifests (cells ())
+  in
+  Alcotest.(check int) "resume simulates nothing" 0 again.Supervisor.completed;
+  Alcotest.(check int) "resume restores all" 8 again.Supervisor.resumed;
+  Alcotest.(check bool) "outcomes identical" true
+    (full.Supervisor.outcomes = again.Supervisor.outcomes);
+  (* Poison one store entry: the resume heals it by re-simulating just
+     that cell. *)
+  let poisoned_key = (cells ()).(3).Supervisor.key in
+  let oc =
+    open_out_bin (Cache_store.entry_path ~dir:store ~key:poisoned_key)
+  in
+  output_string oc "garbage";
+  close_out oc;
+  let healed =
+    Supervisor.run ~spec ~store_dir:store ~manifest_dir:manifests (cells ())
+  in
+  Alcotest.(check int) "one cell re-simulated" 1 healed.Supervisor.completed;
+  Alcotest.(check int) "seven restored" 7 healed.Supervisor.resumed;
+  Alcotest.(check bool) "healed outcomes identical" true
+    (full.Supervisor.outcomes = healed.Supervisor.outcomes)
+
+let test_verify_mismatch_on_resume () =
+  with_dirs @@ fun ~store ~manifests ->
+  let spec = "test cells=2" in
+  let cells () = Array.init 2 sim_cell in
+  ignore
+    (Supervisor.run ~spec ~store_dir:store ~manifest_dir:manifests (cells ()));
+  (* Overwrite a checkpoint with a VALID but wrong payload: only
+     verify mode can catch this. *)
+  let key = (cells ()).(1).Supervisor.key in
+  Cache_store.put ~dir:store ~key (string_of_int 999_999);
+  Fun.protect
+    ~finally:(fun () ->
+      Cache.set_mode Cache.Off;
+      Cache.reset_stats ())
+    (fun () ->
+      Cache.set_mode Cache.Verify;
+      match
+        Supervisor.run ~spec ~store_dir:store ~manifest_dir:manifests (cells ())
+      with
+      | exception Cache.Verify_mismatch { key = k; _ } ->
+        Alcotest.(check string) "mismatch names the entry" key k
+      | _ -> Alcotest.fail "verify mode accepted a forged checkpoint")
+
+(* ------------------------------------------------------------------ *)
+(* Campaigns                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_spec_roundtrip () =
+  let kinds =
+    [
+      Campaigns.Chaos { plans = 6; base_seed = 3; cc = None; check = true };
+      Campaigns.Chaos
+        { plans = 50; base_seed = 1; cc = Some Tcp_config.Vegas; check = false };
+      Campaigns.Compare
+        {
+          preset = Campaigns.Lan;
+          packet_size = Some 576;
+          bad = Some 1.5;
+          good = None;
+          file = None;
+          seed = 7;
+          replications = 4;
+          cc = Tcp_config.Reno;
+        };
+      Campaigns.Advisor { bads = [ 1.0; 2.5; 4.0 ]; replications = 3 };
+    ]
+  in
+  List.iter
+    (fun kind ->
+      let spec = Campaigns.spec_string kind in
+      Alcotest.(check bool) "single line" false (String.contains spec '\n');
+      match Campaigns.kind_of_spec spec with
+      | Ok k -> Alcotest.(check bool) ("roundtrip " ^ spec) true (k = kind)
+      | Error msg -> Alcotest.failf "parse %s: %s" spec msg)
+    kinds;
+  match Campaigns.kind_of_spec "bogus nonsense" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bogus spec accepted"
+
+let chaos_kind plans =
+  Campaigns.Chaos { plans; base_seed = 1; cc = None; check = true }
+
+let test_campaign_resume_identity () =
+  with_dirs @@ fun ~store ~manifests ->
+  let opts = Campaigns.default_options in
+  let reference =
+    Campaigns.run ~store_dir:store ~manifest_dir:manifests ~options:opts
+      (chaos_kind 5)
+  in
+  Alcotest.(check bool) "reference ok" true reference.Campaigns.ok;
+  Alcotest.(check bool) "reference not interrupted" false
+    reference.Campaigns.interrupted;
+  (* Interrupt at the second wave boundary, then resume at jobs=4. *)
+  let interrupted =
+    Campaigns.run ~store_dir:store ~manifest_dir:manifests ~wave_size:2
+      ~should_stop:(fun ~completed -> completed >= 2)
+      ~options:opts (chaos_kind 5)
+  in
+  Alcotest.(check bool) "interrupted" true interrupted.Campaigns.interrupted;
+  Alcotest.(check bool) "partial header present" true
+    (String.length interrupted.Campaigns.rendered >= 8
+    && String.sub interrupted.Campaigns.rendered 0 8 = "partial:");
+  let resumed =
+    Campaigns.run ~jobs:4 ~store_dir:store ~manifest_dir:manifests
+      ~options:{ opts with Campaigns.resume = true }
+      (chaos_kind 5)
+  in
+  Alcotest.(check bool) "resumed some cells" true
+    (resumed.Campaigns.resumed > 0);
+  Alcotest.(check string) "rendered identical" reference.Campaigns.rendered
+    resumed.Campaigns.rendered;
+  Alcotest.(check bool) "json identical" true
+    (reference.Campaigns.json = resumed.Campaigns.json)
+
+let test_campaign_forced_deadline () =
+  with_dirs @@ fun ~store ~manifests ->
+  let r =
+    Campaigns.run ~store_dir:store ~manifest_dir:manifests
+      ~sabotage:
+        { Supervisor.no_sabotage with Supervisor.force_deadline_cell = Some 0 }
+      ~options:
+        { Campaigns.default_options with Campaigns.retries = 2; backoff_ms = 1.0 }
+      (chaos_kind 4)
+  in
+  Alcotest.(check int) "one quarantined" 1 r.Campaigns.quarantined;
+  Alcotest.(check bool) "campaign still ok" true r.Campaigns.ok;
+  Alcotest.(check bool) "headline reports it" true
+    (let rec contains i =
+       i + 13 <= String.length r.Campaigns.rendered
+       && (String.sub r.Campaigns.rendered i 13 = "quarantined=1"
+          || contains (i + 1))
+     in
+     contains 0)
+
+let test_compare_campaign_runs () =
+  with_dirs @@ fun ~store ~manifests ->
+  let kind =
+    Campaigns.Compare
+      {
+        preset = Campaigns.Wan;
+        packet_size = None;
+        bad = None;
+        good = None;
+        file = Some 20_000;
+        seed = 1;
+        replications = 2;
+        cc = Tcp_config.Tahoe;
+      }
+  in
+  let r =
+    Campaigns.run ~jobs:2 ~store_dir:store ~manifest_dir:manifests
+      ~options:Campaigns.default_options kind
+  in
+  Alcotest.(check int) "6 schemes x 2 reps" 12 r.Campaigns.total;
+  Alcotest.(check int) "all settled" 12 r.Campaigns.completed;
+  (* Header plus one row per scheme. *)
+  let lines =
+    List.filter
+      (fun l -> l <> "")
+      (String.split_on_char '\n' r.Campaigns.rendered)
+  in
+  Alcotest.(check int) "7 report lines" 7 (List.length lines)
+
+(* The headline acceptance property: a chaos campaign killed at a
+   random cell index and resumed produces byte-identical reports to
+   an uninterrupted run, at jobs=1 and jobs=4. *)
+let qcheck_kill_resume_identity =
+  QCheck.Test.make ~count:8 ~name:"campaign kill@random+resume is identity"
+    QCheck.(pair (int_bound 3) bool)
+    (fun (kill_after, parallel) ->
+      let jobs = if parallel then 4 else 1 in
+      with_dirs @@ fun ~store ~manifests ->
+      let opts = Campaigns.default_options in
+      let reference =
+        Campaigns.run ~jobs ~store_dir:store ~manifest_dir:manifests
+          ~options:opts (chaos_kind 4)
+      in
+      (* Fresh store so the kill run cannot see the reference's
+         checkpoints. *)
+      rm_rf store;
+      let _killed =
+        Campaigns.run ~jobs ~wave_size:1 ~store_dir:store
+          ~manifest_dir:manifests
+          ~should_stop:(fun ~completed -> completed > kill_after)
+          ~options:opts (chaos_kind 4)
+      in
+      let resumed =
+        Campaigns.run ~jobs ~store_dir:store ~manifest_dir:manifests
+          ~options:{ opts with Campaigns.resume = true }
+          (chaos_kind 4)
+      in
+      reference.Campaigns.rendered = resumed.Campaigns.rendered
+      && reference.Campaigns.json = resumed.Campaigns.json
+      && not resumed.Campaigns.interrupted)
+
+let qc = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "supervise"
+    [
+      ( "manifest",
+        [
+          Alcotest.test_case "roundtrip with quarantine" `Quick
+            test_manifest_roundtrip;
+          Alcotest.test_case "torn tail and stale engine" `Quick
+            test_manifest_torn_tail;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "supervised map equals sequential" `Quick
+            test_supervised_equals_sequential;
+          Alcotest.test_case "deadline exhaustion quarantines" `Quick
+            test_deadline_quarantine;
+          Alcotest.test_case "relaxed budget rescues on retry" `Quick
+            test_relaxed_budget_rescues;
+          Alcotest.test_case "killed worker recovers" `Quick
+            test_kill_sabotage_recovers;
+          Alcotest.test_case "checkpoint/resume and poison heal" `Quick
+            test_checkpoint_resume_and_poison_heal;
+          Alcotest.test_case "verify mode catches forged checkpoint" `Quick
+            test_verify_mismatch_on_resume;
+        ] );
+      ( "campaigns",
+        [
+          Alcotest.test_case "spec codec roundtrip" `Quick test_spec_roundtrip;
+          Alcotest.test_case "interrupt+resume identity" `Slow
+            test_campaign_resume_identity;
+          Alcotest.test_case "forced deadline quarantines" `Slow
+            test_campaign_forced_deadline;
+          Alcotest.test_case "supervised compare report" `Slow
+            test_compare_campaign_runs;
+          qc qcheck_kill_resume_identity;
+        ] );
+    ]
